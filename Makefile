@@ -1,0 +1,34 @@
+# Convenience targets; everything is plain dune underneath.
+
+.PHONY: all build test bench bench-full examples clean doc
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+test-verbose:
+	dune runtest --force --no-buffer
+
+bench:
+	dune exec bench/main.exe
+
+bench-full:
+	BWC_BENCH_FULL=1 dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/desktop_grid.exe
+	dune exec examples/cdn_distribution.exe
+	dune exec examples/latency_cluster.exe
+	dune exec examples/dynamic_network.exe
+	dune exec examples/replica_placement.exe
+
+doc:
+	dune build @doc
+
+clean:
+	dune clean

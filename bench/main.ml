@@ -1,0 +1,219 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every table/figure of the paper's evaluation
+   (Sec. IV) at bench scale and prints the same series the paper reports;
+   `BWC_BENCH_FULL=1 dune exec bench/main.exe` runs paper-scale
+   parameters.  Part 2 is a Bechamel micro-benchmark suite for the core
+   algorithms, including the O(n^3) scaling claim for Algorithm 1 (E6 in
+   DESIGN.md). *)
+
+module Rng = Bwc_stats.Rng
+module Dataset = Bwc_dataset.Dataset
+
+let full = Sys.getenv_opt "BWC_BENCH_FULL" = Some "1"
+
+let section title =
+  Format.printf "@.==================================================================@.";
+  Format.printf "== %s@." title;
+  Format.printf "==================================================================@."
+
+let hp_dataset ~seed =
+  if full then Bwc_dataset.Planetlab.hp_like ~seed
+  else
+    Bwc_dataset.Planetlab.generate ~rng:(Rng.create seed) ~name:"HP-like-small"
+      { Bwc_dataset.Planetlab.hp_target with n = 120 }
+
+let umd_dataset ~seed =
+  if full then Bwc_dataset.Planetlab.umd_like ~seed
+  else
+    Bwc_dataset.Planetlab.generate ~rng:(Rng.create seed) ~name:"UMD-like-small"
+      { Bwc_dataset.Planetlab.umd_target with n = 150 }
+
+let fig3 () =
+  section "Fig. 3 (a,c) -- clustering accuracy: WPR vs b  [E1]";
+  let rounds, queries = if full then (10, 1000) else (3, 250) in
+  List.iter
+    (fun ds ->
+      let out = Bwc_experiments.Accuracy.run ~rounds ~queries_per_round:queries ~seed:1 ds in
+      Bwc_experiments.Accuracy.print out)
+    [ hp_dataset ~seed:11; umd_dataset ~seed:12 ];
+  section "Fig. 3 (b,d) -- relative prediction-error CDFs  [E2]";
+  let rounds = if full then 10 else 2 in
+  List.iter
+    (fun ds ->
+      let out = Bwc_experiments.Relerr.run ~rounds ~seed:1 ds in
+      Bwc_experiments.Relerr.print ~resolution:10 out;
+      Format.printf "median gap (eucl - tree): %.4f@."
+        (Bwc_experiments.Relerr.median_gap out))
+    [ hp_dataset ~seed:11; umd_dataset ~seed:12 ]
+
+let fig4 () =
+  section "Fig. 4 -- tradeoff of decentralization: RR vs k  [E3]";
+  let rounds, per_k = if full then (20, 5) else (4, 4) in
+  List.iter
+    (fun ds ->
+      let out = Bwc_experiments.Tradeoff.run ~rounds ~per_k ~seed:2 ds in
+      Bwc_experiments.Tradeoff.print out)
+    [ hp_dataset ~seed:11; umd_dataset ~seed:12 ]
+
+let fig5 () =
+  section "Fig. 5 -- effect of treeness: WPR vs f_b, normalized by f_a*  [E4]";
+  let rounds, queries = if full then (10, 2000) else (2, 300) in
+  let out = Bwc_experiments.Treeness.run ~n:100 ~rounds ~queries_per_round:queries ~seed:3 () in
+  Bwc_experiments.Treeness.print out
+
+let fig6 () =
+  section "Fig. 6 -- scalability: mean routing hops vs n  [E5]";
+  let base = umd_dataset ~seed:12 in
+  let n = Dataset.size base in
+  let sizes, subsets, queries, rounds =
+    if full then ([ 50; 100; 150; 200; 250; 300 ], 10, 1000, 10)
+    else ([ 40; 80; 120; 150 ], 2, 80, 1)
+  in
+  let sizes = List.filter (fun s -> s <= n) sizes in
+  let out =
+    Bwc_experiments.Scalability.run ~sizes ~subsets_per_size:subsets
+      ~queries_per_subset:queries ~rounds ~seed:4 base
+  in
+  Bwc_experiments.Scalability.print out
+
+let ablations () =
+  section "Ablation -- decentralized RR vs n_cut  [E7]";
+  let ds = hp_dataset ~seed:11 in
+  let rounds = if full then 10 else 2 in
+  let rows = Bwc_experiments.Tradeoff.ncut_ablation ~rounds ~seed:5 ds in
+  Bwc_experiments.Tradeoff.print_ablation ~dataset:ds.Dataset.name rows;
+  section "Ablation -- embedding error vs construction mode  [E8]";
+  let rows = Bwc_experiments.Embedding.run ~rounds:(if full then 5 else 2) ~seed:6 ds in
+  Bwc_experiments.Embedding.print ~dataset:ds.Dataset.name rows;
+  section "Ablation -- Algorithm 1 vs exact k-clique oracle  [E9]";
+  let queries = if full then 100 else 30 in
+  List.iter
+    (fun sigma ->
+      let noisy =
+        if sigma = 0.0 then ds
+        else Bwc_dataset.Noise.multiplicative ~rng:(Rng.create 61) ~sigma ds
+      in
+      let out = Bwc_experiments.Oracle.run ~queries_per_k:queries ~seed:7 noisy in
+      Bwc_experiments.Oracle.print out)
+    [ 0.0; 0.3 ];
+  section "Ablation -- forwarding policy  [E11]";
+  let out =
+    Bwc_experiments.Routing.run
+      ~rounds:(if full then 5 else 2)
+      ~queries_per_k:(if full then 200 else 60)
+      ~seed:9 ds
+  in
+  Bwc_experiments.Routing.print out;
+  section "Background overhead vs system size  [E10]";
+  let base = umd_dataset ~seed:12 in
+  let sizes =
+    List.filter (fun s -> s <= Dataset.size base)
+      (if full then [ 50; 100; 150; 200; 250; 300 ] else [ 40; 80; 120; 150 ])
+  in
+  let out = Bwc_experiments.Overhead.run ~sizes ~repeats:2 ~seed:8 base in
+  Bwc_experiments.Overhead.print out
+
+(* ----- Bechamel micro-benchmarks ----- *)
+
+open Bechamel
+open Toolkit
+
+let tree_space ~seed n =
+  Bwc_metric.Space.of_dmatrix
+    (Bwc_dataset.Hier_tree.distance_matrix ~rng:(Rng.create seed) ~n ())
+
+let micro_tests () =
+  let spaces = List.map (fun n -> (n, tree_space ~seed:7 n)) [ 50; 100; 200 ] in
+  let alg1 =
+    List.map
+      (fun (n, space) ->
+        Test.make
+          ~name:(Printf.sprintf "alg1-find n=%d" n)
+          (Staged.stage (fun () ->
+               ignore (Bwc_core.Find_cluster.find space ~k:(n / 10) ~l:200.0))))
+      spaces
+  in
+  let index_build =
+    List.map
+      (fun (n, space) ->
+        Test.make
+          ~name:(Printf.sprintf "alg1-index-build n=%d" n)
+          (Staged.stage (fun () -> ignore (Bwc_core.Find_cluster.Index.build space))))
+      spaces
+  in
+  let ds = hp_dataset ~seed:11 in
+  let sys = Bwc_core.System.create ~seed:8 ds in
+  let protocol = Bwc_core.System.protocol sys in
+  let rng = Rng.create 9 in
+  let n = Bwc_core.System.size sys in
+  let query_bench =
+    Test.make ~name:"decentralized-query"
+      (Staged.stage (fun () ->
+           let at = Rng.int rng n in
+           ignore (Bwc_core.Protocol.query protocol ~at ~k:8 ~cls:3)))
+  in
+  let ens = Bwc_core.System.framework sys in
+  let labels_a = Bwc_predtree.Ensemble.labels ens 0 in
+  let labels_b = Bwc_predtree.Ensemble.labels ens (n - 1) in
+  let label_bench =
+    Test.make ~name:"ensemble-label-dist"
+      (Staged.stage (fun () -> ignore (Bwc_predtree.Ensemble.label_dist labels_a labels_b)))
+  in
+  let viv = Bwc_vivaldi.Vivaldi.embed ~rng:(Rng.create 10) (Dataset.metric ds) in
+  let kidx = Bwc_euclid.Kdiam.Index.build (Bwc_vivaldi.Vivaldi.coords viv) in
+  let kdiam_bench =
+    Test.make ~name:"kdiam-find"
+      (Staged.stage (fun () -> ignore (Bwc_euclid.Kdiam.Index.find kidx ~k:8 ~l:250.0)))
+  in
+  Test.make_grouped ~name:"bwcluster"
+    (alg1 @ index_build @ [ query_bench; label_bench; kdiam_bench ])
+
+let run_micro () =
+  section "Micro-benchmarks (Bechamel)  [E6: Algorithm 1 is O(n^3)]";
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if full then 1.0 else 0.4))
+      ~kde:None ()
+  in
+  let raw = Benchmark.all cfg [ Instance.monotonic_clock ] (micro_tests ()) in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some (t :: _) -> t
+          | Some [] | None -> Float.nan
+        in
+        let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+        (name, ns, r2) :: acc)
+      results []
+    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  in
+  Bwc_experiments.Report.table ~title:"per-run cost (monotonic clock)"
+    ~headers:[ "benchmark"; "time/run"; "r^2" ]
+    (List.map
+       (fun (name, ns, r2) ->
+         let time =
+           if Float.is_nan ns then "n/a"
+           else if ns >= 1e9 then Printf.sprintf "%.3f s" (ns /. 1e9)
+           else if ns >= 1e6 then Printf.sprintf "%.3f ms" (ns /. 1e6)
+           else if ns >= 1e3 then Printf.sprintf "%.3f us" (ns /. 1e3)
+           else Printf.sprintf "%.0f ns" ns
+         in
+         [ name; time; Printf.sprintf "%.3f" r2 ])
+       rows)
+
+let () =
+  let t0 = Unix.gettimeofday () in
+  Format.printf "bwcluster benchmark harness (%s scale)@."
+    (if full then "paper" else "bench");
+  fig3 ();
+  fig4 ();
+  fig5 ();
+  fig6 ();
+  ablations ();
+  run_micro ();
+  Format.printf "@.total wall time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,366 @@
+(* Command-line driver: regenerate any of the paper's experiments, create
+   synthetic datasets, or run one-off cluster queries.
+
+   Every experiment takes --full to run at paper-scale parameters (slower);
+   the defaults are scaled down but preserve the qualitative shapes. *)
+
+open Cmdliner
+
+let seed_arg =
+  let doc = "Random seed (experiments derive per-round seeds from it)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let full_arg =
+  let doc = "Run with the paper-scale parameters (slower)." in
+  Arg.(value & flag & info [ "full" ] ~doc)
+
+let csv_arg =
+  let doc = "Also write the series as CSV to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc)
+
+let maybe_csv csv save output =
+  match csv with
+  | Some path ->
+      save output path;
+      Format.printf "csv written to %s@." path
+  | None -> ()
+
+let dataset_arg =
+  let doc =
+    "Dataset: 'hp' (HP-PlanetLab-like, 190 hosts), 'umd' (UMD-PlanetLab-like, \
+     317 hosts), 'hp-small'/'umd-small' (120-host variants for quick runs), or \
+     a path to a CSV bandwidth matrix."
+  in
+  Arg.(value & opt string "hp-small" & info [ "dataset" ] ~docv:"NAME" ~doc)
+
+let load_dataset ~seed name =
+  match name with
+  | "hp" -> Bwc_dataset.Planetlab.hp_like ~seed
+  | "umd" -> Bwc_dataset.Planetlab.umd_like ~seed
+  | "hp-small" ->
+      Bwc_dataset.Planetlab.generate
+        ~rng:(Bwc_stats.Rng.create seed)
+        ~name:"HP-like-small"
+        { Bwc_dataset.Planetlab.hp_target with n = 120 }
+  | "umd-small" ->
+      Bwc_dataset.Planetlab.generate
+        ~rng:(Bwc_stats.Rng.create seed)
+        ~name:"UMD-like-small"
+        { Bwc_dataset.Planetlab.umd_target with n = 120 }
+  | path -> Bwc_dataset.Dataset.load_csv ~name:(Filename.basename path) path
+
+(* ----- accuracy (E1) ----- *)
+
+let accuracy seed full dataset csv =
+  let ds = load_dataset ~seed dataset in
+  let rounds, queries = if full then (10, 1000) else (3, 250) in
+  let out = Bwc_experiments.Accuracy.run ~rounds ~queries_per_round:queries ~seed ds in
+  Bwc_experiments.Accuracy.print out;
+  maybe_csv csv Bwc_experiments.Accuracy.save_csv out
+
+let accuracy_cmd =
+  let doc = "Fig. 3(a,c): WPR vs bandwidth constraint for the three approaches." in
+  Cmd.v
+    (Cmd.info "accuracy" ~doc)
+    Term.(const accuracy $ seed_arg $ full_arg $ dataset_arg $ csv_arg)
+
+(* ----- relative error CDF (E2) ----- *)
+
+let relerr seed full dataset csv =
+  let ds = load_dataset ~seed dataset in
+  let rounds = if full then 10 else 3 in
+  let out = Bwc_experiments.Relerr.run ~rounds ~seed ds in
+  Bwc_experiments.Relerr.print ~resolution:10 out;
+  Format.printf "median gap (eucl - tree): %.4f@." (Bwc_experiments.Relerr.median_gap out);
+  maybe_csv csv (fun o p -> Bwc_experiments.Relerr.save_csv o p) out
+
+let relerr_cmd =
+  let doc = "Fig. 3(b,d): CDF of relative bandwidth-prediction errors." in
+  Cmd.v (Cmd.info "relerr" ~doc)
+    Term.(const relerr $ seed_arg $ full_arg $ dataset_arg $ csv_arg)
+
+(* ----- tradeoff (E3 + E7) ----- *)
+
+let tradeoff seed full dataset ablate csv =
+  let ds = load_dataset ~seed dataset in
+  let rounds, per_k = if full then (20, 5) else (4, 4) in
+  if ablate then begin
+    let rows = Bwc_experiments.Tradeoff.ncut_ablation ~rounds ~per_k ~seed ds in
+    Bwc_experiments.Tradeoff.print_ablation ~dataset:ds.Bwc_dataset.Dataset.name rows
+  end
+  else begin
+    let out = Bwc_experiments.Tradeoff.run ~rounds ~per_k ~seed ds in
+    Bwc_experiments.Tradeoff.print out;
+    maybe_csv csv Bwc_experiments.Tradeoff.save_csv out
+  end
+
+let tradeoff_cmd =
+  let doc = "Fig. 4: return rate vs k, centralized vs decentralized." in
+  let ablate =
+    Arg.(value & flag & info [ "ablate-ncut" ] ~doc:"Sweep n_cut instead (E7 ablation).")
+  in
+  Cmd.v
+    (Cmd.info "tradeoff" ~doc)
+    Term.(const tradeoff $ seed_arg $ full_arg $ dataset_arg $ ablate $ csv_arg)
+
+(* ----- treeness (E4) ----- *)
+
+let treeness seed full csv =
+  let rounds, queries = if full then (10, 2000) else (2, 300) in
+  let out =
+    Bwc_experiments.Treeness.run ~n:100 ~rounds ~queries_per_round:queries ~seed ()
+  in
+  Bwc_experiments.Treeness.print out;
+  maybe_csv csv Bwc_experiments.Treeness.save_csv out
+
+let treeness_cmd =
+  let doc = "Fig. 5: effect of dataset treeness (epsilon) on WPR." in
+  Cmd.v (Cmd.info "treeness" ~doc) Term.(const treeness $ seed_arg $ full_arg $ csv_arg)
+
+(* ----- scalability (E5) ----- *)
+
+let scalability seed full dataset csv =
+  let ds = load_dataset ~seed dataset in
+  let sizes, subsets, queries, rounds =
+    if full then ([ 50; 100; 150; 200; 250; 300 ], 10, 1000, 10)
+    else ([ 40; 80; 120 ], 2, 80, 1)
+  in
+  let n = Bwc_dataset.Dataset.size ds in
+  let sizes = List.filter (fun s -> s <= n) sizes in
+  let out =
+    Bwc_experiments.Scalability.run ~sizes ~subsets_per_size:subsets
+      ~queries_per_subset:queries ~rounds ~seed ds
+  in
+  Bwc_experiments.Scalability.print out;
+  maybe_csv csv Bwc_experiments.Scalability.save_csv out
+
+let scalability_cmd =
+  let doc = "Fig. 6: mean query routing hops vs system size." in
+  Cmd.v
+    (Cmd.info "scalability" ~doc)
+    Term.(const scalability $ seed_arg $ full_arg $ dataset_arg $ csv_arg)
+
+(* ----- embedding ablation (E8) ----- *)
+
+let embedding seed full dataset =
+  let ds = load_dataset ~seed dataset in
+  let rounds = if full then 5 else 2 in
+  let rows = Bwc_experiments.Embedding.run ~rounds ~seed ds in
+  Bwc_experiments.Embedding.print ~dataset:ds.Bwc_dataset.Dataset.name rows
+
+let embedding_cmd =
+  let doc = "Ablation: embedding error vs construction mode and ensemble size." in
+  Cmd.v
+    (Cmd.info "embedding" ~doc)
+    Term.(const embedding $ seed_arg $ full_arg $ dataset_arg)
+
+(* ----- oracle ablation (E9) ----- *)
+
+let oracle seed full dataset csv =
+  let ds = load_dataset ~seed dataset in
+  let queries = if full then 100 else 30 in
+  let out = Bwc_experiments.Oracle.run ~queries_per_k:queries ~seed ds in
+  Bwc_experiments.Oracle.print out;
+  maybe_csv csv Bwc_experiments.Oracle.save_csv out
+
+let oracle_cmd =
+  let doc = "Ablation: Algorithm 1 on real data vs the exact k-clique oracle." in
+  Cmd.v (Cmd.info "oracle" ~doc)
+    Term.(const oracle $ seed_arg $ full_arg $ dataset_arg $ csv_arg)
+
+(* ----- overhead (E10) ----- *)
+
+let overhead seed full dataset csv =
+  let ds = load_dataset ~seed dataset in
+  let n = Bwc_dataset.Dataset.size ds in
+  let sizes =
+    List.filter (fun s -> s <= n)
+      (if full then [ 50; 100; 150; 200; 250; 300 ] else [ 40; 80; 120 ])
+  in
+  let out = Bwc_experiments.Overhead.run ~sizes ~repeats:(if full then 5 else 2) ~seed ds in
+  Bwc_experiments.Overhead.print out;
+  maybe_csv csv Bwc_experiments.Overhead.save_csv out
+
+let overhead_cmd =
+  let doc = "Background protocol overhead (measurements, messages) vs system size." in
+  Cmd.v (Cmd.info "overhead" ~doc)
+    Term.(const overhead $ seed_arg $ full_arg $ dataset_arg $ csv_arg)
+
+(* ----- routing-policy ablation (E11) ----- *)
+
+let routing seed full dataset csv =
+  let ds = load_dataset ~seed dataset in
+  let rounds, queries = if full then (5, 200) else (2, 60) in
+  let out = Bwc_experiments.Routing.run ~rounds ~queries_per_k:queries ~seed ds in
+  Bwc_experiments.Routing.print out;
+  maybe_csv csv Bwc_experiments.Routing.save_csv out
+
+let routing_cmd =
+  let doc = "Ablation: forwarding-policy comparison (best-CRT vs first neighbor)." in
+  Cmd.v (Cmd.info "routing" ~doc)
+    Term.(const routing $ seed_arg $ full_arg $ dataset_arg $ csv_arg)
+
+(* ----- dynamic membership demo ----- *)
+
+let dynamic seed dataset epochs =
+  let ds = load_dataset ~seed dataset in
+  let n = Bwc_dataset.Dataset.size ds in
+  let initial = List.init (2 * n / 3) (fun i -> i) in
+  let dyn = Bwc_core.Dynamic.create ~seed ~initial_members:initial ds in
+  let churn =
+    Bwc_sim.Churn.random
+      ~rng:(Bwc_stats.Rng.create (seed + 1))
+      ~n ~rounds:epochs ~leave_prob:0.05 ~rejoin_prob:0.15
+  in
+  let rng = Bwc_stats.Rng.create (seed + 2) in
+  let lo, hi = Bwc_dataset.Dataset.percentile_range ds ~lo:20.0 ~hi:80.0 in
+  Bwc_core.Dynamic.run_scenario dyn ~churn ~rounds:epochs ~on_round:(fun epoch dyn ->
+      let found = ref 0 and total = 30 in
+      for _ = 1 to total do
+        let b = Bwc_stats.Rng.uniform rng lo hi in
+        if Bwc_core.Query.found (Bwc_core.Dynamic.query dyn ~k:6 ~b) then incr found
+      done;
+      Format.printf "epoch %2d: members=%3d RR=%d/%d@." epoch
+        (Bwc_core.Dynamic.member_count dyn)
+        !found total)
+
+let dynamic_cmd =
+  let doc = "Run a churn scenario: hosts join and leave while queries keep flowing." in
+  let epochs =
+    Arg.(value & opt int 8 & info [ "epochs" ] ~docv:"N" ~doc:"Churn epochs to run.")
+  in
+  Cmd.v (Cmd.info "dynamic" ~doc) Term.(const dynamic $ seed_arg $ dataset_arg $ epochs)
+
+(* ----- dataset generation ----- *)
+
+let gen seed dataset output =
+  let ds = load_dataset ~seed dataset in
+  Bwc_dataset.Dataset.save_csv ds output;
+  let lo, hi = Bwc_dataset.Dataset.percentile_range ds ~lo:20.0 ~hi:80.0 in
+  Format.printf "wrote %s: %d hosts, bandwidth p20=%.1f p80=%.1f Mbps@." output
+    (Bwc_dataset.Dataset.size ds) lo hi
+
+let gen_cmd =
+  let doc = "Generate a synthetic dataset and write it as CSV." in
+  let output =
+    Arg.(
+      value
+      & opt string "dataset.csv"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output CSV path.")
+  in
+  Cmd.v (Cmd.info "gen" ~doc) Term.(const gen $ seed_arg $ dataset_arg $ output)
+
+(* ----- overlay export ----- *)
+
+let export_tree seed dataset output =
+  let ds = load_dataset ~seed dataset in
+  let sys = Bwc_core.System.create ~seed ds in
+  let fw = Bwc_predtree.Ensemble.primary (Bwc_core.System.framework sys) in
+  let write path contents =
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+  in
+  let pred_path = output ^ ".prediction.dot" in
+  let anchor_path = output ^ ".anchor.dot" in
+  write pred_path
+    (Bwc_predtree.Tree.to_dot ~label:ds.Bwc_dataset.Dataset.name
+       (Bwc_predtree.Framework.tree fw));
+  write anchor_path
+    (Bwc_predtree.Anchor.to_dot ~label:ds.Bwc_dataset.Dataset.name
+       (Bwc_predtree.Framework.anchor fw));
+  Format.printf "wrote %s and %s (render with graphviz)@." pred_path anchor_path
+
+let export_tree_cmd =
+  let doc = "Export the prediction tree and anchor overlay as Graphviz DOT files." in
+  let output =
+    Arg.(value & opt string "overlay" & info [ "o"; "output" ] ~docv:"PREFIX"
+           ~doc:"Output filename prefix.")
+  in
+  Cmd.v (Cmd.info "export-tree" ~doc)
+    Term.(const export_tree $ seed_arg $ dataset_arg $ output)
+
+(* ----- dataset diagnostics ----- *)
+
+let inspect seed dataset =
+  let ds = load_dataset ~seed dataset in
+  let n = Bwc_dataset.Dataset.size ds in
+  Format.printf "dataset %s: %d hosts, %d pairs@." ds.Bwc_dataset.Dataset.name n
+    (n * (n - 1) / 2);
+  let values = Bwc_dataset.Dataset.bandwidth_values ds in
+  (match Bwc_stats.Summary.of_array values with
+  | Some d -> Format.printf "bandwidth (Mbps): %a@." Bwc_stats.Summary.pp d
+  | None -> ());
+  let rng = Bwc_stats.Rng.create seed in
+  let space = Bwc_dataset.Dataset.metric ds in
+  let report = Bwc_metric.Check.verify ~rng space in
+  Format.printf "metric properties: %a@." Bwc_metric.Check.pp report;
+  let eps = Bwc_metric.Fourpoint.epsilon_avg ~samples:30_000 ~rng space in
+  Format.printf "treeness: epsilon_avg = %.4f (epsilon* = %.4f)@." eps
+    (Bwc_metric.Fourpoint.epsilon_star eps);
+  let hist = Bwc_stats.Histogram.create ~lo:(Bwc_stats.Summary.min values)
+      ~hi:(Bwc_stats.Summary.max values +. 1e-9) ~bins:12 in
+  Bwc_stats.Histogram.add_all hist values;
+  Format.printf "bandwidth distribution:@.%a" Bwc_stats.Histogram.pp hist
+
+let inspect_cmd =
+  let doc = "Print dataset diagnostics: metric checks, treeness, distribution." in
+  Cmd.v (Cmd.info "inspect" ~doc) Term.(const inspect $ seed_arg $ dataset_arg)
+
+(* ----- one-off query ----- *)
+
+let query seed dataset k b =
+  let ds = load_dataset ~seed dataset in
+  let sys = Bwc_core.System.create ~seed ds in
+  Format.printf "system of %d hosts up (aggregation: %d rounds, %d messages)@."
+    (Bwc_core.System.size sys)
+    (Bwc_core.Protocol.rounds_run (Bwc_core.System.protocol sys))
+    (Bwc_core.Protocol.messages_sent (Bwc_core.System.protocol sys));
+  let result = Bwc_core.System.query sys ~k ~b in
+  Format.printf "decentralized: %a@." Bwc_core.Query.pp_result result;
+  (match result.Bwc_core.Query.cluster with
+  | Some cluster ->
+      let bad = Bwc_core.System.verify_cluster sys ~b cluster in
+      Format.printf "real-bandwidth violations: %d of %d pairs@." (List.length bad)
+        (List.length cluster * (List.length cluster - 1) / 2)
+  | None -> ());
+  match Bwc_core.System.query_centralized sys ~k ~b with
+  | Some cluster ->
+      Format.printf "centralized:   found {%s}@."
+        (String.concat ", " (List.map string_of_int cluster))
+  | None -> Format.printf "centralized:   not found@."
+
+let query_cmd =
+  let doc = "Stand up a system and run one bandwidth-constrained cluster query." in
+  let k =
+    Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc:"Cluster size constraint.")
+  in
+  let b =
+    Arg.(
+      value
+      & opt float 40.0
+      & info [ "b" ] ~docv:"MBPS" ~doc:"Minimum pairwise bandwidth constraint (Mbps).")
+  in
+  Cmd.v (Cmd.info "query" ~doc) Term.(const query $ seed_arg $ dataset_arg $ k $ b)
+
+let main_cmd =
+  let doc = "Bandwidth-constrained cluster search (ICDCS 2011 reproduction)." in
+  Cmd.group
+    (Cmd.info "bwcluster" ~version:"1.0.0" ~doc)
+    [
+      accuracy_cmd;
+      relerr_cmd;
+      tradeoff_cmd;
+      treeness_cmd;
+      scalability_cmd;
+      embedding_cmd;
+      oracle_cmd;
+      overhead_cmd;
+      routing_cmd;
+      dynamic_cmd;
+      gen_cmd;
+      export_tree_cmd;
+      inspect_cmd;
+      query_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

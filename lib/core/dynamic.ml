@@ -1,0 +1,79 @@
+module Rng = Bwc_stats.Rng
+module Dataset = Bwc_dataset.Dataset
+module Ensemble = Bwc_predtree.Ensemble
+
+type t = {
+  rng : Rng.t;
+  fw : Ensemble.t;
+  protocol : Protocol.t;
+  classes : Classes.t;
+}
+
+let create ?(seed = 1) ?(c = Bwc_metric.Bandwidth.default_c) ?n_cut ?(class_count = 8)
+    ?ensemble_size ?initial_members dataset =
+  let rng = Rng.create seed in
+  let space = Dataset.metric ~c dataset in
+  let fw =
+    Ensemble.build ~rng:(Rng.split rng) ?size:ensemble_size ?members:initial_members
+      space
+  in
+  let classes = Classes.of_percentiles ~c ~count:class_count dataset in
+  let protocol = Protocol.create ~rng:(Rng.split rng) ?n_cut ~classes fw in
+  let (_ : int) = Protocol.run_aggregation protocol in
+  { rng; fw; protocol; classes }
+
+let members t = Ensemble.members t.fw
+let member_count t = List.length (members t)
+let is_member t h = Ensemble.is_member t.fw h
+let protocol t = t.protocol
+let ensemble t = t.fw
+let classes t = t.classes
+
+let stabilize t =
+  Protocol.refresh_topology t.protocol;
+  Protocol.run_aggregation t.protocol
+
+let join t h =
+  Ensemble.add_host ~rng:(Rng.split t.rng) t.fw h;
+  let (_ : int) = stabilize t in
+  ()
+
+let leave t h =
+  Ensemble.remove_host ~rng:(Rng.split t.rng) t.fw h;
+  let (_ : int) = stabilize t in
+  ()
+
+let apply t events =
+  let changed = ref false in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Bwc_sim.Churn.Join h ->
+          if not (is_member t h) then begin
+            Ensemble.add_host ~rng:(Rng.split t.rng) t.fw h;
+            changed := true
+          end
+      | Bwc_sim.Churn.Leave h ->
+          if is_member t h && member_count t > 1 then begin
+            Ensemble.remove_host ~rng:(Rng.split t.rng) t.fw h;
+            changed := true
+          end)
+    events;
+  if !changed then begin
+    let (_ : int) = stabilize t in
+    ()
+  end
+
+let run_scenario t ~churn ~rounds ~on_round =
+  for epoch = 0 to rounds - 1 do
+    apply t (Bwc_sim.Churn.events_at churn epoch);
+    on_round epoch t
+  done
+
+let query ?at t ~k ~b =
+  let at =
+    match at with
+    | Some a -> a
+    | None -> Rng.choose t.rng (Array.of_list (members t))
+  in
+  Protocol.query_bandwidth t.protocol ~at ~k ~b

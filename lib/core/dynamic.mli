@@ -1,0 +1,57 @@
+(** Dynamic membership: hosts joining and leaving a running system
+    (requirement 5 of Sec. I, "members of each cluster should adaptively
+    change as network condition changes").
+
+    A join inserts the host into every prediction tree of the ensemble
+    (the same Gromov placement a bootstrap uses) and a leave splices it
+    out (or rebuilds when other hosts anchor beneath it); after each batch
+    of membership changes the aggregation protocols re-run to quiescence,
+    so cluster routing tables always describe the current overlay.
+
+    Churn schedules from {!Bwc_sim.Churn} drive whole scenarios. *)
+
+type t
+
+val create :
+  ?seed:int ->
+  ?c:float ->
+  ?n_cut:int ->
+  ?class_count:int ->
+  ?ensemble_size:int ->
+  ?initial_members:int list ->
+  Bwc_dataset.Dataset.t ->
+  t
+(** [initial_members] defaults to all hosts of the dataset. *)
+
+val members : t -> int list
+val member_count : t -> int
+val is_member : t -> int -> bool
+val protocol : t -> Protocol.t
+val ensemble : t -> Bwc_predtree.Ensemble.t
+val classes : t -> Classes.t
+
+val join : t -> int -> unit
+(** Adds the host and restabilises the aggregation.  The host must be a
+    point of the dataset that is not currently a member. *)
+
+val leave : t -> int -> unit
+(** Removes the host and restabilises.  Refuses ([Invalid_argument]) to
+    remove the last member. *)
+
+val apply : t -> Bwc_sim.Churn.event list -> unit
+(** Applies a batch of joins/leaves, restabilising once at the end —
+    events for hosts already in the requested state are ignored, so
+    schedules generated independently of the current state are safe. *)
+
+val run_scenario :
+  t -> churn:Bwc_sim.Churn.t -> rounds:int -> on_round:(int -> t -> unit) -> unit
+(** Drives [rounds] epochs: each epoch applies the churn events scheduled
+    for it, restabilises, then calls [on_round epoch t] (e.g. to submit
+    queries). *)
+
+val query : ?at:int -> t -> k:int -> b:float -> Query.result
+(** Submits at a uniformly random current member by default. *)
+
+val stabilize : t -> int
+(** Re-runs background aggregation until quiescent; returns rounds run.
+    Normally called internally. *)

@@ -1,0 +1,156 @@
+module Space = Bwc_metric.Space
+
+let members space ~p ~q =
+  let d = space.Space.dist in
+  let dpq = d p q in
+  let out = ref [] in
+  for x = space.Space.n - 1 downto 0 do
+    if d x p <= dpq && d x q <= dpq then out := x :: !out
+  done;
+  !out
+
+let rec take k = function
+  | [] -> []
+  | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+
+(* Pick k members, always keeping p and q (the diameter-realising pair is
+   certainly inside any wanted cluster of this group). *)
+let pick_k ~p ~q k members =
+  let others = List.filter (fun x -> x <> p && x <> q) members in
+  p :: q :: take (k - 2) others
+
+let cluster_ok ~verify space ~l cluster =
+  (not verify) || Space.diameter space cluster <= l *. (1.0 +. 1e-9)
+
+(* Pairs are scanned in plain index order, as in the paper's pseudocode
+   ("foreach node pair (p,q)").  The order matters on approximate tree
+   metrics: scanning by ascending predicted distance would systematically
+   return the most over-confidently embedded pairs (the ones noise made
+   look closest) and bias the accuracy evaluation; index order returns an
+   arbitrary satisfying pair instead. *)
+let iter_pairs_until n f =
+  try
+    for p = 0 to n - 1 do
+      for q = p + 1 to n - 1 do
+        f p q
+      done
+    done
+  with Exit -> ()
+
+let find ?(verify = false) space ~k ~l =
+  if k < 2 then invalid_arg "Find_cluster.find: k < 2";
+  if space.Space.n < k then None
+  else begin
+    let result = ref None in
+    iter_pairs_until space.Space.n (fun p q ->
+        if space.Space.dist p q <= l then begin
+          let s = members space ~p ~q in
+          if List.length s >= k then begin
+            let cluster = pick_k ~p ~q k s in
+            if cluster_ok ~verify space ~l cluster then begin
+              result := Some cluster;
+              raise Exit
+            end
+          end
+        end);
+    !result
+  end
+
+let exists space ~k ~l = find space ~k ~l <> None
+
+let max_size space ~l =
+  if space.Space.n = 0 then 0
+  else begin
+    let best = ref 1 in
+    iter_pairs_until space.Space.n (fun p q ->
+        if space.Space.dist p q <= l then begin
+          let size = List.length (members space ~p ~q) in
+          if size > !best then best := size
+        end);
+    !best
+  end
+
+module Index = struct
+  type t = {
+    space : Space.t;
+    dists : float array;        (* pair distances, index order (p-major) *)
+    sizes : int array;          (* |S*_pq| per pair, index order *)
+    sorted_dists : float array; (* ascending distances *)
+    prefix_max : int array;     (* running max of sizes along sorted_dists *)
+  }
+
+  (* Flat position of pair (p, q), p < q, in index order. *)
+  let pair_pos n p q = (p * ((2 * n) - p - 1) / 2) + (q - p - 1)
+
+  let build space =
+    let n = space.Space.n in
+    let count = n * (n - 1) / 2 in
+    let dists = Array.make (Stdlib.max 1 count) 0.0 in
+    let sizes = Array.make (Stdlib.max 1 count) 0 in
+    for p = 0 to n - 1 do
+      for q = p + 1 to n - 1 do
+        let pos = pair_pos n p q in
+        dists.(pos) <- space.Space.dist p q;
+        sizes.(pos) <- List.length (members space ~p ~q)
+      done
+    done;
+    let order = Array.init count (fun i -> i) in
+    Array.sort (fun a b -> compare dists.(a) dists.(b)) order;
+    let sorted_dists = Array.map (fun i -> dists.(i)) order in
+    let prefix_max = Array.make count 0 in
+    let run = ref 0 in
+    Array.iteri
+      (fun rank i ->
+        run := Stdlib.max !run sizes.(i);
+        prefix_max.(rank) <- !run)
+      order;
+    { space; dists; sizes; sorted_dists; prefix_max }
+
+  let size t = t.space.Space.n
+
+  (* Rank of the last sorted pair with distance <= l, or -1. *)
+  let last_within t l =
+    let n = Array.length t.sorted_dists in
+    let rec search lo hi =
+      if lo >= hi then lo - 1
+      else begin
+        let mid = (lo + hi) / 2 in
+        if t.sorted_dists.(mid) <= l then search (mid + 1) hi else search lo mid
+      end
+    in
+    search 0 n
+
+  let find ?(verify = false) t ~k ~l =
+    if k < 2 then invalid_arg "Find_cluster.Index.find: k < 2";
+    let n = t.space.Space.n in
+    let result = ref None in
+    (try
+       for p = 0 to n - 1 do
+         for q = p + 1 to n - 1 do
+           let pos = pair_pos n p q in
+           if t.dists.(pos) <= l && t.sizes.(pos) >= k then begin
+             let cluster = pick_k ~p ~q k (members t.space ~p ~q) in
+             if cluster_ok ~verify t.space ~l cluster then begin
+               result := Some cluster;
+               raise Exit
+             end
+           end
+         done
+       done
+     with Exit -> ());
+    !result
+
+  let exists t ~k ~l =
+    if k < 2 then invalid_arg "Find_cluster.Index.exists: k < 2";
+    let limit = last_within t l in
+    limit >= 0 && t.prefix_max.(limit) >= k
+
+  let max_size t ~l =
+    if t.space.Space.n = 0 then 0
+    else begin
+      let limit = last_within t l in
+      if limit < 0 then 1 else Stdlib.max 1 t.prefix_max.(limit)
+    end
+
+  let max_sizes t ~ls = Array.map (fun l -> max_size t ~l) ls
+end

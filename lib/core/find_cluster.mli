@@ -1,0 +1,52 @@
+(** Algorithm 1: centralized clustering in a tree metric space.
+
+    For every node pair [(p, q)] the set
+    [S*_pq = { x : d(x,p) <= d(p,q) && d(x,q) <= d(p,q) }]
+    is the largest cluster whose diameter is realised by [(p, q)]
+    (Theorem 3.1: in a tree metric, [diam S*_pq = d(p,q)]), so scanning
+    pairs and checking [|S*_pq| >= k] with [d(p,q) <= l] decides the
+    query in O(n^3).
+
+    Pairs are scanned in plain index order, exactly as the paper's
+    pseudocode iterates "foreach node pair (p,q)": any satisfying pair is
+    a correct answer.  (Scanning by ascending predicted distance would
+    systematically return the pairs an imperfect embedding placed
+    over-confidently close and bias the accuracy evaluation.)
+
+    On spaces that are only approximately tree metrics the guarantee
+    [diam S*_pq = d(p,q)] can fail; [~verify:true] re-checks the returned
+    cluster's diameter (the paper's evaluation does {e not} verify — the
+    resulting wrong pairs are exactly what WPR measures). *)
+
+val members : Bwc_metric.Space.t -> p:int -> q:int -> int list
+(** [S*_pq], ascending node order ([p] and [q] are members). *)
+
+val find :
+  ?verify:bool -> Bwc_metric.Space.t -> k:int -> l:float -> int list option
+(** One-shot Algorithm 1.  Returns [k] members of the first satisfying
+    [S*_pq] ([p] and [q] always included).  [verify] defaults to
+    [false]. *)
+
+val exists : Bwc_metric.Space.t -> k:int -> l:float -> bool
+
+val max_size : Bwc_metric.Space.t -> l:float -> int
+(** Largest cluster size achievable with diameter [<= l]
+    (the quantity aggregated into cluster routing tables by
+    Algorithm 3); at least 1 when the space is non-empty. *)
+
+(** Precomputed all-pairs index for repeated queries on a fixed space:
+    O(n^3) once, then O(log n) feasibility and max-size lookups. *)
+module Index : sig
+  type t
+
+  val build : Bwc_metric.Space.t -> t
+  val size : t -> int
+
+  val find : ?verify:bool -> t -> k:int -> l:float -> int list option
+  (** Same result as {!find} on the indexed space. *)
+
+  val exists : t -> k:int -> l:float -> bool
+  val max_size : t -> l:float -> int
+  val max_sizes : t -> ls:float array -> int array
+  (** Vectorised {!max_size} for a whole set of distance classes. *)
+end

@@ -1,0 +1,46 @@
+module Space = Bwc_metric.Space
+
+let best space ~targets ~exclude =
+  if targets = [] then None
+  else begin
+    let forbidden = Hashtbl.create 16 in
+    List.iter (fun x -> Hashtbl.replace forbidden x ()) targets;
+    List.iter (fun x -> Hashtbl.replace forbidden x ()) exclude;
+    let best = ref None in
+    for x = 0 to space.Space.n - 1 do
+      if not (Hashtbl.mem forbidden x) then begin
+        let radius =
+          List.fold_left (fun acc s -> Float.max acc (space.Space.dist x s)) 0.0 targets
+        in
+        match !best with
+        | Some (_, r) when r <= radius -> ()
+        | _ -> best := Some (x, radius)
+      end
+    done;
+    !best
+  end
+
+let best_bw ?c space ~targets =
+  match best space ~targets ~exclude:[] with
+  | None -> None
+  | Some (x, radius) -> Some (x, Bwc_metric.Bandwidth.of_distance ?c radius)
+
+let local protocol ~at ~targets =
+  if targets = [] then None
+  else begin
+    let infos = Protocol.clustering_space protocol at in
+    let target_hosts = List.map (fun i -> i.Node_info.host) targets in
+    let best = ref None in
+    Array.iter
+      (fun cand ->
+        if not (List.mem cand.Node_info.host target_hosts) then begin
+          let radius =
+            List.fold_left (fun acc s -> Float.max acc (Node_info.dist cand s)) 0.0 targets
+          in
+          match !best with
+          | Some (_, r) when r <= radius -> ()
+          | _ -> best := Some (cand.Node_info.host, radius)
+        end)
+      infos;
+    !best
+  end

@@ -1,0 +1,321 @@
+module Ensemble = Bwc_predtree.Ensemble
+module Engine = Bwc_sim.Engine
+
+type message = {
+  prop_node : Node_info.t list;
+  prop_crt : int array;
+}
+
+let message_equal a b =
+  a.prop_crt = b.prop_crt
+  && List.compare Node_info.compare_host a.prop_node b.prop_node = 0
+
+type node = {
+  id : int;
+  mutable info : Node_info.t;
+  mutable neighbors : Node_info.t list;
+  aggr_node : (int, Node_info.t list) Hashtbl.t;    (* neighbor -> received propNode *)
+  aggr_crt : (int, int array) Hashtbl.t;            (* neighbor -> received propCRT *)
+  mutable own_row : int array;                      (* aggrCRT[self] *)
+  last_sent : (int, message) Hashtbl.t;
+  mutable dirty : bool;
+}
+
+type t = {
+  fw : Ensemble.t;
+  classes : Classes.t;
+  n_cut : int;
+  mutable nodes : node option array; (* indexed by host id; None = not a member *)
+  engine : message Engine.t;
+  mutable rounds : int;
+}
+
+let node_of_host fw host = Node_info.make ~host ~labels:(Ensemble.labels fw host)
+
+let neighbor_infos fw host =
+  List.map (node_of_host fw) (Ensemble.anchor_neighbors fw host)
+
+let fresh_node fw classes host =
+  {
+    id = host;
+    info = node_of_host fw host;
+    neighbors = neighbor_infos fw host;
+    aggr_node = Hashtbl.create 8;
+    aggr_crt = Hashtbl.create 8;
+    own_row = Array.make (Classes.count classes) 1;
+    last_sent = Hashtbl.create 8;
+    dirty = true;
+  }
+
+let node_slots fw classes =
+  Array.init (Ensemble.hosts fw) (fun h ->
+      if Ensemble.is_member fw h then Some (fresh_node fw classes h) else None)
+
+let sync_engine_active t =
+  Array.iteri
+    (fun h slot -> Engine.set_active t.engine h (slot <> None))
+    t.nodes
+
+let create ~rng ?(n_cut = 10) ?edge_delay ~classes fw =
+  if n_cut < 1 then invalid_arg "Protocol.create: n_cut < 1";
+  let n = Ensemble.hosts fw in
+  let t =
+    {
+      fw;
+      classes;
+      n_cut;
+      nodes = node_slots fw classes;
+      engine = Engine.create ?edge_delay ~rng n;
+      rounds = 0;
+    }
+  in
+  sync_engine_active t;
+  t
+
+let n t =
+  Array.fold_left (fun acc slot -> if slot = None then acc else acc + 1) 0 t.nodes
+
+let get_node t x =
+  match t.nodes.(x) with
+  | Some node -> node
+  | None -> invalid_arg "Protocol: host is not a member"
+
+let n_cut t = t.n_cut
+let classes t = t.classes
+let framework t = t.fw
+
+(* ----- local state recomputation (Algorithm 3, lines 3-8) ----- *)
+
+(* V_x = {x} union aggrNode[v] for every neighbor v, deduplicated. *)
+let clustering_space_node node =
+  let seen = Hashtbl.create 32 in
+  let acc = ref [] in
+  let consider info =
+    if not (Hashtbl.mem seen info.Node_info.host) then begin
+      Hashtbl.add seen info.Node_info.host ();
+      acc := info :: !acc
+    end
+  in
+  consider node.info;
+  List.iter
+    (fun nb ->
+      match Hashtbl.find_opt node.aggr_node nb.Node_info.host with
+      | Some infos -> List.iter consider infos
+      | None -> ())
+    node.neighbors;
+  Array.of_list (List.rev !acc)
+
+let recompute_own_row t node =
+  let infos = clustering_space_node node in
+  (* cache the pairwise label distances: the index scan evaluates each
+     pair O(|V|) times and ensemble-median label distances are not
+     cheap *)
+  let space = Bwc_metric.Space.cached (Node_info.space_of infos) in
+  let index = Find_cluster.Index.build space in
+  node.own_row <- Find_cluster.Index.max_sizes index ~ls:(Classes.distances t.classes)
+
+(* ----- message construction ----- *)
+
+(* Algorithm 2: the n_cut hosts closest to the recipient among
+   {x} union aggrNode[v] for v <> recipient. *)
+let prop_node_for t node ~recipient =
+  let seen = Hashtbl.create 32 in
+  let acc = ref [] in
+  let consider info =
+    let h = info.Node_info.host in
+    if h <> recipient.Node_info.host && not (Hashtbl.mem seen h) then begin
+      Hashtbl.add seen h ();
+      acc := info :: !acc
+    end
+  in
+  consider node.info;
+  List.iter
+    (fun nb ->
+      if nb.Node_info.host <> recipient.Node_info.host then
+        match Hashtbl.find_opt node.aggr_node nb.Node_info.host with
+        | Some infos -> List.iter consider infos
+        | None -> ())
+    node.neighbors;
+  let cand = Array.of_list !acc in
+  Array.sort
+    (fun a b -> compare (Node_info.dist recipient a) (Node_info.dist recipient b))
+    cand;
+  Array.to_list (Array.sub cand 0 (Stdlib.min t.n_cut (Array.length cand)))
+
+(* Algorithm 3, lines 9-10: max over own row and every other neighbor's
+   aggregated column. *)
+let prop_crt_for node ~recipient =
+  let out = Array.copy node.own_row in
+  List.iter
+    (fun nb ->
+      if nb.Node_info.host <> recipient.Node_info.host then
+        match Hashtbl.find_opt node.aggr_crt nb.Node_info.host with
+        | Some row ->
+            Array.iteri (fun i v -> if v > out.(i) then out.(i) <- v) row
+        | None -> ())
+    node.neighbors;
+  out
+
+let send_updates t node =
+  List.iter
+    (fun nb ->
+      let msg =
+        {
+          prop_node = prop_node_for t node ~recipient:nb;
+          prop_crt = prop_crt_for node ~recipient:nb;
+        }
+      in
+      let unchanged =
+        match Hashtbl.find_opt node.last_sent nb.Node_info.host with
+        | Some prev -> message_equal prev msg
+        | None -> false
+      in
+      if not unchanged then begin
+        Hashtbl.replace node.last_sent nb.Node_info.host msg;
+        Engine.send t.engine ~src:node.id ~dst:nb.Node_info.host msg
+      end)
+    node.neighbors
+
+(* ----- round driver ----- *)
+
+let step t id inbox =
+  match t.nodes.(id) with
+  | None -> false
+  | Some node ->
+  let changed = ref node.dirty in
+  List.iter
+    (fun (src, msg) ->
+      let node_diff =
+        match Hashtbl.find_opt node.aggr_node src with
+        | Some prev -> List.compare Node_info.compare_host prev msg.prop_node <> 0
+        | None -> true
+      in
+      if node_diff then begin
+        Hashtbl.replace node.aggr_node src msg.prop_node;
+        changed := true
+      end;
+      let crt_diff =
+        match Hashtbl.find_opt node.aggr_crt src with
+        | Some prev -> prev <> msg.prop_crt
+        | None -> true
+      in
+      if crt_diff then begin
+        Hashtbl.replace node.aggr_crt src msg.prop_crt;
+        changed := true
+      end)
+    inbox;
+  if !changed then begin
+    recompute_own_row t node;
+    send_updates t node;
+    node.dirty <- false
+  end;
+  !changed
+
+let run_round t =
+  let active = Engine.run_round t.engine ~step:(step t) in
+  t.rounds <- t.rounds + 1;
+  active
+
+let run_aggregation ?max_rounds t =
+  let max_rounds =
+    match max_rounds with Some m -> m | None -> Stdlib.max 8 (4 * Array.length t.nodes)
+  in
+  let rec loop r =
+    if r >= max_rounds then r
+    else if run_round t then loop (r + 1)
+    else r + 1
+  in
+  loop 0
+
+(* ----- queries (Algorithm 4) ----- *)
+
+let clustering_space t x = clustering_space_node (get_node t x)
+
+let local_find t node ~k ~cls =
+  let infos = clustering_space_node node in
+  let space = Bwc_metric.Space.cached (Node_info.space_of infos) in
+  match Find_cluster.find space ~k ~l:(Classes.distance t.classes cls) with
+  | None -> None
+  | Some idxs -> Some (List.map (fun i -> infos.(i).Node_info.host) idxs)
+
+let query ?(policy = `Best_crt) t ~at ~k ~cls =
+  if k < 2 then invalid_arg "Protocol.query: k < 2";
+  if cls < 0 || cls >= Classes.count t.classes then invalid_arg "Protocol.query: bad class";
+  let rec go x ~from ~path =
+    let node = get_node t x in
+    if node.own_row.(cls) >= k then
+      { Query.cluster = local_find t node ~k ~cls; hops = List.length path - 1;
+        path = List.rev path }
+    else begin
+      (* Forward to a neighbor claiming a big-enough cluster in its
+         direction, never back to the sender.  The paper allows "any"
+         such neighbor; `Best_crt picks the direction promising the
+         largest cluster, `First the first in neighbor order. *)
+      let best = ref None in
+      (try
+         List.iter
+           (fun nb ->
+             let h = nb.Node_info.host in
+             if Some h <> from then
+               match Hashtbl.find_opt node.aggr_crt h with
+               | Some row when row.(cls) >= k -> (
+                   match policy with
+                   | `First ->
+                       best := Some (h, row.(cls));
+                       raise Exit
+                   | `Best_crt -> (
+                       match !best with
+                       | Some (_, best_size) when best_size >= row.(cls) -> ()
+                       | _ -> best := Some (h, row.(cls))))
+               | Some _ | None -> ())
+           node.neighbors
+       with Exit -> ());
+      match !best with
+      | Some (next, _) -> go next ~from:(Some x) ~path:(next :: path)
+      | None -> { Query.cluster = None; hops = List.length path - 1; path = List.rev path }
+    end
+  in
+  go at ~from:None ~path:[ at ]
+
+let query_bandwidth ?policy t ~at ~k ~b =
+  match Classes.class_for t.classes ~b with
+  | Some cls -> query ?policy t ~at ~k ~cls
+  | None -> Query.not_found_at at
+
+let aggregated_nodes t x m =
+  let node = get_node t x in
+  if not (List.exists (fun nb -> nb.Node_info.host = m) node.neighbors) then
+    raise Not_found
+  else match Hashtbl.find_opt node.aggr_node m with Some l -> l | None -> []
+
+let crt_row t x v =
+  let node = get_node t x in
+  if v = x then Array.copy node.own_row
+  else if not (List.exists (fun nb -> nb.Node_info.host = v) node.neighbors) then
+    raise Not_found
+  else
+    match Hashtbl.find_opt node.aggr_crt v with
+    | Some row -> Array.copy row
+    | None -> Array.make (Classes.count t.classes) 0
+
+let max_reachable t x ~cls =
+  let node = get_node t x in
+  List.fold_left
+    (fun acc nb ->
+      match Hashtbl.find_opt node.aggr_crt nb.Node_info.host with
+      | Some row -> Stdlib.max acc row.(cls)
+      | None -> acc)
+    node.own_row.(cls) node.neighbors
+
+let messages_sent t = Engine.messages_sent t.engine
+let rounds_run t = t.rounds
+
+let mark_all_dirty t =
+  Array.iter (function Some node -> node.dirty <- true | None -> ()) t.nodes
+
+(* Rebuilding the slots from scratch both refreshes labels/neighborhoods
+   after a framework change and tracks membership changes (joins create a
+   slot, leaves clear one). *)
+let refresh_topology t =
+  t.nodes <- node_slots t.fw t.classes;
+  sync_engine_active t

@@ -1,0 +1,98 @@
+(** The decentralized clustering system (Sec. III-B).
+
+    Every host participating in the prediction framework runs two
+    background aggregation mechanisms over its anchor-tree neighborhood:
+
+    - {b Algorithm 2} ([DynAggrNodeInfo]): for each neighbor [m], host [x]
+      maintains [aggrNode[m]] — the [n_cut] hosts closest to [x] among
+      everything reachable via [m];
+    - {b Algorithm 3} ([DynAggrMaxCluster]): for each neighbor [m] and
+      each distance class [l], host [x] maintains [aggrCRT[m][l]] — the
+      maximum cluster size achievable in the clustering space of any host
+      reachable via [m].  The per-class row for [x] itself is the best
+      cluster [x] can build from its own aggregated neighborhood.
+
+    Queries ({b Algorithm 4}, [ProcessQuery]) may be submitted to any
+    host: a host answers from its own clustering space when its own CRT
+    row allows, otherwise forwards towards a neighbor whose CRT column
+    promises a large-enough cluster, never returning to the sender.
+
+    The implementation runs on the round-based {!Bwc_sim.Engine}; each
+    round every host consumes its inbox, updates its tables, and
+    (re)propagates to neighbors when something changed, so a static
+    network reaches quiescence and [run_until_stable] detects it. *)
+
+type t
+
+val create :
+  rng:Bwc_stats.Rng.t ->
+  ?n_cut:int ->
+  ?edge_delay:(src:int -> dst:int -> int) ->
+  classes:Classes.t ->
+  Bwc_predtree.Ensemble.t ->
+  t
+(** [n_cut] (default 10) bounds the per-neighbor node-information payload
+    — the decentralization knob of Sec. IV-B.  [edge_delay] gives overlay
+    links heterogeneous (FIFO) delivery delays in rounds; the aggregation
+    converges to the same tables regardless (tested), it just takes
+    proportionally longer. *)
+
+val n : t -> int
+(** Current member count. *)
+
+val n_cut : t -> int
+val classes : t -> Classes.t
+val framework : t -> Bwc_predtree.Ensemble.t
+
+val run_aggregation : ?max_rounds:int -> t -> int
+(** Runs rounds until quiescent (returns the number of rounds) or until
+    [max_rounds] (default [4 * n]). *)
+
+val run_round : t -> bool
+(** A single round; [true] while still active. *)
+
+val query :
+  ?policy:[ `Best_crt | `First ] -> t -> at:int -> k:int -> cls:int -> Query.result
+(** Algorithm 4: submit the query for [k] hosts of class [cls] at host
+    [at].  The paper forwards to "any" neighbor whose CRT column promises
+    a big-enough cluster; [`Best_crt] (default) picks the most promising
+    direction, [`First] the first qualifying neighbor (the routing-policy
+    ablation compares them). *)
+
+val query_bandwidth :
+  ?policy:[ `Best_crt | `First ] -> t -> at:int -> k:int -> b:float -> Query.result
+(** Convenience: maps [b] to the cheapest class that guarantees it; a miss
+    when no class covers [b]. *)
+
+val clustering_space : t -> int -> Node_info.t array
+(** [V_x]: the host itself plus everything aggregated from its neighbors
+    (the space Algorithms 3 and 4 cluster in). *)
+
+val aggregated_nodes : t -> int -> int -> Node_info.t list
+(** [aggregated_nodes t x m]: [x]'s [aggrNode[m]] — the node information
+    received from neighbor [m] (Algorithm 2's table; empty before any
+    aggregation round).  Raises [Not_found] if [m] is not a neighbor of
+    [x]. *)
+
+val crt_row : t -> int -> int -> int array
+(** [crt_row t x v]: [x]'s CRT column for neighbor (or self) [v]; one
+    entry per class.  Raises [Not_found] if [v] is neither [x] nor a
+    neighbor of [x]. *)
+
+val max_reachable : t -> int -> cls:int -> int
+(** The largest cluster size host [x] believes exists anywhere (its own
+    row and every neighbor column). *)
+
+val messages_sent : t -> int
+val rounds_run : t -> int
+
+val mark_all_dirty : t -> unit
+(** Forces every host to recompute and repropagate — used after the
+    underlying framework is refreshed (dynamic network conditions). *)
+
+val refresh_topology : t -> unit
+(** Re-reads membership, labels and anchor neighborhoods from the
+    framework (after joins, leaves, {!Bwc_predtree.Framework.refresh_host}
+    or a rebuild), clears stale aggregation state, and marks everything
+    dirty.  Aggregation then reconverges with further rounds.  Functions
+    taking a host raise [Invalid_argument] for non-members. *)

@@ -1,0 +1,33 @@
+type t = {
+  k : int;
+  l : float;
+}
+
+let make ~k ~l =
+  if k < 2 then invalid_arg "Query.make: k < 2";
+  if l <= 0.0 then invalid_arg "Query.make: l <= 0";
+  { k; l }
+
+let of_bandwidth ?c ~k b =
+  let l = Bwc_metric.Bandwidth.to_distance ?c b in
+  make ~k ~l
+let bandwidth_of ?c t = Bwc_metric.Bandwidth.of_distance ?c t.l
+
+type result = {
+  cluster : int list option;
+  hops : int;
+  path : int list;
+}
+
+let found r = r.cluster <> None
+let not_found_at node = { cluster = None; hops = 0; path = [ node ] }
+
+let pp ppf t = Format.fprintf ppf "(k=%d, l=%.3f)" t.k t.l
+
+let pp_result ppf r =
+  match r.cluster with
+  | None -> Format.fprintf ppf "not found after %d hops" r.hops
+  | Some c ->
+      Format.fprintf ppf "found {%s} after %d hops"
+        (String.concat ", " (List.map string_of_int c))
+        r.hops

@@ -1,0 +1,32 @@
+(** Cluster queries and results.
+
+    A query asks for [k] hosts whose pairwise bandwidth is at least [b]
+    (Sec. I); under the rational transform it becomes a
+    distance-constrained query: [k] hosts with pairwise distance at most
+    [l = C / b] (Sec. III). *)
+
+type t = {
+  k : int;    (** cluster size; at least 2 *)
+  l : float;  (** diameter constraint, in distance units *)
+}
+
+val make : k:int -> l:float -> t
+val of_bandwidth : ?c:float -> k:int -> float -> t
+(** [of_bandwidth ~c ~k b] converts the bandwidth constraint [b] (Mbps)
+    with [l = c / b]. *)
+
+val bandwidth_of : ?c:float -> t -> float
+(** The bandwidth constraint this query's [l] corresponds to. *)
+
+type result = {
+  cluster : int list option; (** the [k] hosts, or [None] when not found *)
+  hops : int;                (** query forwardings (0 = answered where submitted) *)
+  path : int list;           (** hosts visited, submission point first *)
+}
+
+val found : result -> bool
+val not_found_at : int -> result
+(** A miss that never left the submission node. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,59 @@
+(** Bandwidth datasets: a named full symmetric matrix of pairwise available
+    bandwidth (Mbps) between hosts, plus the preprocessing steps the paper
+    applies to its PlanetLab measurements (Sec. IV):
+    symmetrization by averaging forward/reverse, and extraction of complete
+    submatrices. *)
+
+type t = {
+  name : string;
+  bw : Bwc_metric.Dmatrix.t;  (** pairwise bandwidth, [infinity] diagonal *)
+}
+
+val make : name:string -> Bwc_metric.Dmatrix.t -> t
+(** Validates that all off-diagonal bandwidths are positive and finite. *)
+
+val size : t -> int
+
+val bw : t -> int -> int -> float
+(** Pairwise bandwidth; [infinity] for [i = j]. *)
+
+val metric : ?c:float -> t -> Bwc_metric.Space.t
+(** The dataset under the rational transform [d = C / BW]. *)
+
+val symmetrize_asymmetric :
+  name:string -> (int -> int -> float) -> int -> t
+(** [symmetrize_asymmetric ~name raw n] builds a dataset from an asymmetric
+    measurement function by averaging [raw i j] and [raw j i]
+    (the paper's preprocessing of pathChirp matrices). *)
+
+val subset : t -> ?name:string -> int array -> t
+(** Principal sub-dataset on the given host indices. *)
+
+val random_subset : t -> rng:Bwc_stats.Rng.t -> int -> t
+(** [random_subset t ~rng m] keeps [m] uniformly chosen hosts (used by the
+    scalability experiment, Sec. IV-D). *)
+
+val complete_submatrix : name:string -> (int -> int -> float option) -> int -> t
+(** [complete_submatrix ~name raw n] mimics the paper's extraction of a full
+    n-to-n matrix from an incomplete measurement set: greedily drops the
+    host with the most missing measurements until the remaining matrix is
+    complete, then symmetrizes.  Raises [Failure] if fewer than two hosts
+    survive. *)
+
+val bandwidth_values : t -> float array
+(** All off-diagonal bandwidths (each unordered pair once). *)
+
+val bandwidth_cdf : t -> Bwc_stats.Cdf.t
+
+val percentile_range : t -> lo:float -> hi:float -> float * float
+(** [percentile_range t ~lo ~hi] is the [(lo, hi)] percentile pair of the
+    bandwidth distribution — the paper draws query constraints [b] between
+    the 20th and 80th percentiles. *)
+
+val save_csv : t -> string -> unit
+(** Writes the full square matrix, one row per line, [inf] on the
+    diagonal. *)
+
+val load_csv : name:string -> string -> t
+(** Reads a matrix written by {!save_csv} (or any full square CSV of
+    positive bandwidths); enforces symmetry by averaging. *)

@@ -1,0 +1,26 @@
+(** E8 — ablation of the prediction-framework construction choices: base
+    selection (fixed root vs random leaf), end-node search (exact argmax
+    vs budgeted anchor-guided), and ensemble size (median over trees).
+
+    Reports embedding quality (median and 90th-percentile relative
+    bandwidth error, and the rate of pairs whose bandwidth is
+    over-predicted by 2x — the "false close" tail that poisons
+    clustering) together with construction cost in measurements. *)
+
+type row = {
+  label : string;
+  ensemble : int;
+  p50 : float;
+  p90 : float;
+  over2x : float;        (** fraction of pairs with predicted >= 2x real *)
+  measurements : int;
+  full_mesh : int;       (** n*(n-1)/2, for comparison *)
+}
+
+val run :
+  ?rounds:int -> ?sizes:int list -> seed:int -> Bwc_dataset.Dataset.t -> row list
+(** Evaluates the four base/search mode combinations at ensemble size 1,
+    plus the default decentralised mode at each ensemble size in [sizes]
+    (default [1; 3; 5]), averaged over [rounds] (default 2). *)
+
+val print : dataset:string -> row list -> unit

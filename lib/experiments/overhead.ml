@@ -1,0 +1,96 @@
+module Rng = Bwc_stats.Rng
+module Dataset = Bwc_dataset.Dataset
+module Ensemble = Bwc_predtree.Ensemble
+
+type row = {
+  n : int;
+  measurements : int;
+  full_mesh : int;
+  rounds_to_quiescence : int;
+  messages_total : int;
+  messages_per_host : float;
+  anchor_depth : int;
+}
+
+type output = {
+  base_dataset : string;
+  n_cut : int;
+  rows : row list;
+}
+
+let run ?(sizes = [ 40; 80; 120 ]) ?(repeats = 2) ?(n_cut = 10) ~seed base =
+  let rows =
+    List.map
+      (fun n ->
+        if n > Dataset.size base then
+          invalid_arg "Overhead.run: subset size exceeds base dataset";
+        let meas = ref 0 and rounds = ref 0 and msgs = ref 0 and depth = ref 0 in
+        for rep = 0 to repeats - 1 do
+          let rng = Rng.create (seed + (100 * n) + rep) in
+          let ds = Dataset.random_subset base ~rng n in
+          let space = Dataset.metric ds in
+          let ens = Ensemble.build ~rng:(Rng.split rng) space in
+          let classes = Bwc_core.Classes.of_percentiles ~count:8 ds in
+          let protocol =
+            Bwc_core.Protocol.create ~rng:(Rng.split rng) ~n_cut ~classes ens
+          in
+          let r = Bwc_core.Protocol.run_aggregation protocol in
+          meas := !meas + Ensemble.measurements_total ens;
+          rounds := !rounds + r;
+          msgs := !msgs + Bwc_core.Protocol.messages_sent protocol;
+          depth :=
+            !depth
+            + Bwc_predtree.Anchor.max_depth
+                (Bwc_predtree.Framework.anchor (Ensemble.primary ens))
+        done;
+        {
+          n;
+          measurements = !meas / repeats;
+          full_mesh = n * (n - 1) / 2;
+          rounds_to_quiescence = !rounds / repeats;
+          messages_total = !msgs / repeats;
+          messages_per_host = float_of_int !msgs /. float_of_int (repeats * n);
+          anchor_depth = !depth / repeats;
+        })
+      (List.sort compare sizes)
+  in
+  { base_dataset = base.Dataset.name; n_cut; rows }
+
+let print output =
+  Report.table
+    ~title:
+      (Printf.sprintf "Background overhead vs system size (n_cut=%d) -- %s" output.n_cut
+         output.base_dataset)
+    ~headers:
+      [
+        "n"; "measurements"; "full mesh"; "rounds"; "messages"; "msgs/host"; "anchor depth";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Report.i r.n;
+           Report.i r.measurements;
+           Report.i r.full_mesh;
+           Report.i r.rounds_to_quiescence;
+           Report.i r.messages_total;
+           Report.f r.messages_per_host;
+           Report.i r.anchor_depth;
+         ])
+       output.rows)
+
+let save_csv output path =
+  Report.save_csv ~path
+    ~headers:
+      [ "n"; "measurements"; "full_mesh"; "rounds"; "messages"; "msgs_per_host"; "anchor_depth" ]
+    (List.map
+       (fun r ->
+         [
+           Report.i r.n;
+           Report.i r.measurements;
+           Report.i r.full_mesh;
+           Report.i r.rounds_to_quiescence;
+           Report.i r.messages_total;
+           Report.f r.messages_per_host;
+           Report.i r.anchor_depth;
+         ])
+       output.rows)

@@ -1,0 +1,46 @@
+type output = {
+  dataset : string;
+  tree : Bwc_stats.Cdf.t;
+  eucl : Bwc_stats.Cdf.t;
+}
+
+let run ?(rounds = 3) ~seed dataset =
+  let tree_errs = ref [] and eucl_errs = ref [] in
+  for round = 0 to rounds - 1 do
+    let ctx = Context.create ~seed:(seed + round) dataset in
+    tree_errs :=
+      Bwc_predtree.Ensemble.relative_errors ~c:(Context.c ctx)
+        (Bwc_core.System.framework ctx.Context.sys)
+      :: !tree_errs;
+    eucl_errs :=
+      Bwc_vivaldi.Vivaldi.relative_errors ~c:(Context.c ctx) ctx.Context.vivaldi
+        (Bwc_dataset.Dataset.metric ~c:(Context.c ctx) dataset)
+      :: !eucl_errs
+  done;
+  {
+    dataset = dataset.Bwc_dataset.Dataset.name;
+    tree = Bwc_stats.Cdf.make (Array.concat !tree_errs);
+    eucl = Bwc_stats.Cdf.make (Array.concat !eucl_errs);
+  }
+
+let median_gap output =
+  Bwc_stats.Cdf.quantile output.eucl 0.5 -. Bwc_stats.Cdf.quantile output.tree 0.5
+
+let print ?(resolution = 10) output =
+  Report.cdf_series
+    ~title:
+      (Printf.sprintf "Fig.3 relative bandwidth-prediction error CDF -- %s" output.dataset)
+    ~resolution
+    [ ("TREE", output.tree); ("EUCL", output.eucl) ]
+
+let save_csv ?(resolution = 100) output path =
+  let rows =
+    List.init resolution (fun idx ->
+        let p = float_of_int (idx + 1) /. float_of_int resolution in
+        [
+          Printf.sprintf "%.4f" p;
+          Printf.sprintf "%.6f" (Bwc_stats.Cdf.quantile output.tree p);
+          Printf.sprintf "%.6f" (Bwc_stats.Cdf.quantile output.eucl p);
+        ])
+  in
+  Report.save_csv ~path ~headers:[ "cum_frac"; "tree_rel_err"; "eucl_rel_err" ] rows

@@ -1,0 +1,22 @@
+(** E2 — Fig. 3(b,d): CDFs of relative bandwidth-prediction error for the
+    tree embedding (the prediction framework) versus the Vivaldi 2-d
+    Euclidean embedding, pooled over rounds.  The paper's qualitative
+    result: the tree CDF dominates (sits left of) the Euclidean CDF. *)
+
+type output = {
+  dataset : string;
+  tree : Bwc_stats.Cdf.t;
+  eucl : Bwc_stats.Cdf.t;
+}
+
+val run : ?rounds:int -> seed:int -> Bwc_dataset.Dataset.t -> output
+(** Default 3 rounds (the paper pools 10). *)
+
+val median_gap : output -> float
+(** [median(eucl) - median(tree)]; positive when the tree embedding is
+    more accurate. *)
+
+val print : ?resolution:int -> output -> unit
+
+val save_csv : ?resolution:int -> output -> string -> unit
+(** Writes quantile rows of both CDFs as CSV. *)

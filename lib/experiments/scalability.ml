@@ -1,0 +1,102 @@
+module Rng = Bwc_stats.Rng
+module Dataset = Bwc_dataset.Dataset
+
+type row = {
+  n : int;
+  avg_hops : float;
+  max_hops : int;
+  rr : float;
+  queries : int;
+}
+
+type output = {
+  base_dataset : string;
+  rows : row list;
+}
+
+let run ?(sizes = [ 50; 100; 150; 200; 250 ]) ?(subsets_per_size = 2)
+    ?(queries_per_subset = 100) ?(rounds = 1) ~seed base =
+  let base_n = Dataset.size base in
+  let rows =
+    List.map
+      (fun n ->
+        if n > base_n then
+          invalid_arg "Scalability.run: subset size exceeds base dataset";
+        let hops_sum = ref 0 and hops_max = ref 0 in
+        let found = ref 0 and asked = ref 0 in
+        for subset = 0 to subsets_per_size - 1 do
+          let sub_rng = Rng.create (seed + (100 * n) + subset) in
+          let ds = Dataset.random_subset base ~rng:sub_rng n in
+          let lo, hi = Workload.bandwidth_range ds in
+          for round = 0 to rounds - 1 do
+            let sys = Bwc_core.System.create ~seed:(seed + (1000 * subset) + round) ds in
+            let rng = Rng.create (seed + (10 * n) + (100 * subset) + round) in
+            (* Queries: uniform k drawn from the 5%-30% range, constraint
+               and submission host uniform. *)
+            let ks_arr =
+              Array.of_list (Workload.k_fraction_range ~n ~lo:0.05 ~hi:0.30 ~steps:6)
+            in
+            for _ = 1 to queries_per_subset do
+              let k = ks_arr.(Rng.int rng (Array.length ks_arr)) in
+              let b = Rng.uniform rng lo hi in
+              let at = Rng.int rng n in
+              let r = Bwc_core.System.query ~at sys ~k ~b in
+              incr asked;
+              if Bwc_core.Query.found r then begin
+                incr found;
+                hops_sum := !hops_sum + r.Bwc_core.Query.hops;
+                hops_max := Stdlib.max !hops_max r.Bwc_core.Query.hops
+              end
+            done
+          done
+        done;
+        {
+          n;
+          avg_hops =
+            (if !found = 0 then 0.0 else float_of_int !hops_sum /. float_of_int !found);
+          max_hops = !hops_max;
+          rr = (if !asked = 0 then 0.0 else float_of_int !found /. float_of_int !asked);
+          queries = !asked;
+        })
+      (List.sort compare sizes)
+  in
+  { base_dataset = base.Dataset.name; rows }
+
+let concaveish output =
+  match output.rows with
+  | [] | [ _ ] | [ _; _ ] -> true
+  | rows ->
+      let arr = Array.of_list rows in
+      let m = Array.length arr in
+      let mid = m / 2 in
+      let first = arr.(mid).avg_hops -. arr.(0).avg_hops in
+      let second = arr.(m - 1).avg_hops -. arr.(mid).avg_hops in
+      second <= first +. 0.75
+
+let print output =
+  Report.table
+    ~title:(Printf.sprintf "Fig.6 query routing scalability -- %s" output.base_dataset)
+    ~headers:[ "n"; "avg hops"; "max hops"; "RR"; "queries" ]
+    (List.map
+       (fun r ->
+         [
+           Report.i r.n;
+           Report.f3 r.avg_hops;
+           Report.i r.max_hops;
+           Report.f3 r.rr;
+           Report.i r.queries;
+         ])
+       output.rows)
+
+let save_csv output path =
+  Report.save_csv ~path ~headers:[ "n"; "avg_hops"; "max_hops"; "rr"; "queries" ]
+    (List.map
+       (fun r ->
+         [
+           Report.i r.n;
+           Report.f3 r.avg_hops;
+           Report.i r.max_hops;
+           Report.f3 r.rr;
+           Report.i r.queries;
+         ])
+       output.rows)

@@ -1,0 +1,37 @@
+(** E5 — Fig. 6: scalability of query routing.
+
+    Random sub-datasets of increasing size [n] each get a fresh
+    decentralized system; queries with [k] between 5% and 30% of [n]
+    are submitted at random hosts and the mean number of routing hops is
+    reported per [n].  The paper's qualitative result: hop counts are
+    small (around 2-3) and grow slowly and concavely with [n]. *)
+
+type row = {
+  n : int;
+  avg_hops : float;   (** over answered queries *)
+  max_hops : int;
+  rr : float;
+  queries : int;
+}
+
+type output = {
+  base_dataset : string;
+  rows : row list; (** ascending n *)
+}
+
+val run :
+  ?sizes:int list -> ?subsets_per_size:int -> ?queries_per_subset:int ->
+  ?rounds:int -> seed:int -> Bwc_dataset.Dataset.t -> output
+(** Draws subsets from the given base dataset (the paper uses
+    UMD-PlanetLab, sizes 50-300, 10 subsets each, 1000 queries, 10
+    rounds; defaults here: sizes 50-250 step 50, 2 subsets, 100 queries,
+    1 round). *)
+
+val concaveish : output -> bool
+(** Growth sanity used by tests: the hop increment over the second half of
+    the size range does not exceed the increment over the first half by
+    more than a small slack. *)
+
+val print : output -> unit
+
+val save_csv : output -> string -> unit

@@ -1,0 +1,32 @@
+module Rng = Bwc_stats.Rng
+
+type query = {
+  k : int;
+  b : float;
+  at : int;
+}
+
+let bandwidth_range ?(lo_pct = 20.0) ?(hi_pct = 80.0) ds =
+  Bwc_dataset.Dataset.percentile_range ds ~lo:lo_pct ~hi:hi_pct
+
+let one ~rng ~range:(lo, hi) ~n ~k =
+  { k; b = Rng.uniform rng lo hi; at = Rng.int rng n }
+
+let fixed_k ~rng ~range ~n ~k ~count =
+  if count < 0 then invalid_arg "Workload.fixed_k: negative count";
+  List.init count (fun _ -> one ~rng ~range ~n ~k)
+
+let swept_k ~rng ~range ~n ~ks ~per_k =
+  List.concat_map (fun k -> List.init per_k (fun _ -> one ~rng ~range ~n ~k)) ks
+
+let k_fraction_range ~n ~lo ~hi ~steps =
+  if steps < 1 then invalid_arg "Workload.k_fraction_range: steps < 1";
+  let ks =
+    List.init steps (fun idx ->
+        let frac =
+          if steps = 1 then lo
+          else lo +. ((hi -. lo) *. float_of_int idx /. float_of_int (steps - 1))
+        in
+        Stdlib.max 2 (int_of_float (Float.round (frac *. float_of_int n))))
+  in
+  List.sort_uniq compare ks

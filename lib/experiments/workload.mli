@@ -1,0 +1,34 @@
+(** Query workload generation, following Sec. IV: bandwidth constraints
+    are drawn uniformly from a percentile band of the dataset's bandwidth
+    distribution (the paper uses the 20th-80th percentiles, e.g. 15-75
+    Mbps for HP-PlanetLab), cluster sizes either fixed or swept, and the
+    submission host uniform.
+
+    The decentralized system quantises [b] to its bandwidth classes when
+    answering — that is its designed-in flexibility limit, not the
+    workload's concern. *)
+
+type query = {
+  k : int;
+  b : float;  (** bandwidth constraint, Mbps (continuous) *)
+  at : int;   (** submission host *)
+}
+
+val bandwidth_range :
+  ?lo_pct:float -> ?hi_pct:float -> Bwc_dataset.Dataset.t -> float * float
+(** The paper's constraint band: percentiles of the pairwise bandwidth
+    distribution, defaults 20 and 80. *)
+
+val fixed_k :
+  rng:Bwc_stats.Rng.t -> range:float * float -> n:int -> k:int -> count:int ->
+  query list
+(** [count] queries with the given [k] (the Fig. 3 workload). *)
+
+val swept_k :
+  rng:Bwc_stats.Rng.t -> range:float * float -> n:int -> ks:int list ->
+  per_k:int -> query list
+(** [per_k] queries for every [k] in [ks] (the Fig. 4 workload). *)
+
+val k_fraction_range : n:int -> lo:float -> hi:float -> steps:int -> int list
+(** Evenly spaced cluster sizes between [lo*n] and [hi*n], deduplicated
+    and clamped to [>= 2] (the Fig. 6 workload uses 0.05-0.30). *)

@@ -1,0 +1,25 @@
+(** Metric-property verification (Sec. II-B's four properties).
+
+    Real bandwidth data only approximately satisfies the triangle
+    inequality, so violations are reported as a fraction rather than a
+    boolean. *)
+
+type report = {
+  non_negative : bool;          (** every distance [>= 0.] *)
+  zero_diagonal : bool;         (** [d(i,i) = 0.] for all [i] *)
+  symmetric : bool;             (** always true for {!Dmatrix}-backed spaces *)
+  triangle_violations : float;  (** fraction of ordered triples violating
+                                    [d(u,w) <= d(u,v) + d(v,w)] beyond [tol] *)
+  triples_checked : int;
+}
+
+val verify : ?tol:float -> ?max_triples:int -> rng:Bwc_stats.Rng.t -> Space.t -> report
+(** [verify ~tol ~max_triples ~rng s] checks the metric properties,
+    sampling triples uniformly when the space has more than [max_triples]
+    (default [200_000]) of them.  [tol] (default [1e-9]) is a relative
+    slack on the triangle inequality. *)
+
+val is_metric : report -> bool
+(** True when all properties hold and no triangle violations were seen. *)
+
+val pp : Format.formatter -> report -> unit

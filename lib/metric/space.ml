@@ -1,0 +1,35 @@
+type t = {
+  n : int;
+  dist : int -> int -> float;
+}
+
+let make ~n ~dist =
+  if n <= 0 then invalid_arg "Space.make: n <= 0";
+  { n; dist }
+
+let of_dmatrix m = { n = Dmatrix.size m; dist = Dmatrix.get m }
+
+let to_dmatrix t = Dmatrix.of_fun t.n ~diag:0.0 (fun i j -> t.dist i j)
+
+let cached t = of_dmatrix (to_dmatrix t)
+
+let restrict t idx =
+  let k = Array.length idx in
+  Array.iter
+    (fun i -> if i < 0 || i >= t.n then invalid_arg "Space.restrict: index out of range")
+    idx;
+  { n = k; dist = (fun a b -> t.dist idx.(a) idx.(b)) }
+
+let diameter t nodes =
+  let rec loop acc = function
+    | [] -> acc
+    | x :: rest ->
+        let acc = List.fold_left (fun a y -> Float.max a (t.dist x y)) acc rest in
+        loop acc rest
+  in
+  loop 0.0 nodes
+
+let of_bandwidth ?c bw =
+  let n = Dmatrix.size bw in
+  make ~n ~dist:(fun i j ->
+      if i = j then 0.0 else Bandwidth.to_distance ?c (Dmatrix.get bw i j))

@@ -1,0 +1,87 @@
+type t = {
+  parents : (int, int) Hashtbl.t; (* child -> parent *)
+  kids : (int, int list) Hashtbl.t;
+  mutable root : int option;
+}
+
+let create () = { parents = Hashtbl.create 64; kids = Hashtbl.create 64; root = None }
+
+let set_root t h =
+  (match t.root with
+  | Some _ -> invalid_arg "Anchor.set_root: root already set"
+  | None -> ());
+  t.root <- Some h;
+  Hashtbl.replace t.kids h []
+
+let root t =
+  match t.root with
+  | Some r -> r
+  | None -> invalid_arg "Anchor.root: empty tree"
+
+let mem t h = Hashtbl.mem t.kids h
+
+let add t ~parent h =
+  if not (mem t parent) then invalid_arg "Anchor.add: unknown parent";
+  if mem t h then invalid_arg "Anchor.add: host already present";
+  Hashtbl.replace t.parents h parent;
+  Hashtbl.replace t.kids h [];
+  Hashtbl.replace t.kids parent (h :: Hashtbl.find t.kids parent)
+
+let children t h = match Hashtbl.find_opt t.kids h with Some c -> c | None -> []
+
+let parent t h = Hashtbl.find_opt t.parents h
+
+let remove_leaf t h =
+  if not (mem t h) then invalid_arg "Anchor.remove_leaf: unknown host";
+  if children t h <> [] || t.root = Some h then Error `Not_leaf
+  else begin
+    (match parent t h with
+    | Some p -> Hashtbl.replace t.kids p (List.filter (fun c -> c <> h) (Hashtbl.find t.kids p))
+    | None -> ());
+    Hashtbl.remove t.parents h;
+    Hashtbl.remove t.kids h;
+    Ok ()
+  end
+
+let size t = Hashtbl.length t.kids
+
+let neighbors t h =
+  match parent t h with
+  | Some p -> p :: children t h
+  | None -> children t h
+
+let degree t h = List.length (neighbors t h)
+
+let depth t h =
+  let rec up h acc = match parent t h with Some p -> up p (acc + 1) | None -> acc in
+  up h 0
+
+let hosts t = Hashtbl.fold (fun h _ acc -> h :: acc) t.kids []
+
+let max_depth t = List.fold_left (fun acc h -> Stdlib.max acc (depth t h)) 0 (hosts t)
+let max_degree t = List.fold_left (fun acc h -> Stdlib.max acc (degree t h)) 0 (hosts t)
+
+let iter_edges t f = Hashtbl.iter (fun child p -> f p child) t.parents
+
+let pp ppf t =
+  match t.root with
+  | None -> Format.fprintf ppf "<empty anchor tree>"
+  | Some r ->
+      let rec show indent h =
+        Format.fprintf ppf "%sh%d@." indent h;
+        List.iter (show (indent ^ "  ")) (List.rev (children t h))
+      in
+      show "" r
+
+let to_dot ?(label = "anchor tree") t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "digraph anchor_tree {\n";
+  Buffer.add_string buf (Printf.sprintf "  label=%S;\n" label);
+  Buffer.add_string buf "  node [shape=circle, fontsize=10];\n";
+  (match t.root with
+  | Some r -> Buffer.add_string buf (Printf.sprintf "  h%d [shape=doublecircle];\n" r)
+  | None -> ());
+  iter_edges t (fun parent child ->
+      Buffer.add_string buf (Printf.sprintf "  h%d -> h%d;\n" parent child));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

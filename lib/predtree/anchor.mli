@@ -1,0 +1,47 @@
+(** The anchor tree: the rooted, unweighted overlay that hosts organise
+    themselves into (Sec. II-D).
+
+    The first host is the root; every later host becomes a child of its
+    anchor node.  The clustering protocols (Algorithms 2-4) run over the
+    edges of this tree: a node's overlay neighbors are its anchor parent
+    and its anchor children. *)
+
+type t
+
+val create : unit -> t
+val set_root : t -> int -> unit
+(** Must be called once, before any [add]. *)
+
+val add : t -> parent:int -> int -> unit
+(** [add t ~parent h] attaches host [h] under [parent].  [parent] must be
+    present already; [h] must not. *)
+
+val remove_leaf : t -> int -> (unit, [ `Not_leaf ]) result
+(** Removes a childless, non-root host. *)
+
+val root : t -> int
+val mem : t -> int -> bool
+val size : t -> int
+val parent : t -> int -> int option
+(** [None] for the root. *)
+
+val children : t -> int -> int list
+val neighbors : t -> int -> int list
+(** Parent (if any) plus children: the overlay neighborhood. *)
+
+val degree : t -> int -> int
+val depth : t -> int -> int
+(** Hops from the root. *)
+
+val max_depth : t -> int
+val max_degree : t -> int
+
+val hosts : t -> int list
+
+val iter_edges : t -> (int -> int -> unit) -> unit
+(** [iter_edges t f] calls [f parent child] once per overlay edge. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : ?label:string -> t -> string
+(** Graphviz rendering of the anchor overlay (a rooted tree of hosts). *)

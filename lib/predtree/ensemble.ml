@@ -1,0 +1,70 @@
+module Rng = Bwc_stats.Rng
+module Space = Bwc_metric.Space
+
+type t = {
+  space : Space.t;
+  frameworks : Framework.t array;
+}
+
+let default_size = 3
+
+let build ~rng ?mode ?(size = default_size) ?members space =
+  if size < 1 then invalid_arg "Ensemble.build: size < 1";
+  {
+    space;
+    frameworks =
+      Array.init size (fun _ -> Framework.build ~rng:(Rng.split rng) ?mode ?members space);
+  }
+
+let size t = Array.length t.frameworks
+let hosts t = t.space.Space.n
+let members t = Framework.members t.frameworks.(0)
+let is_member t h = Framework.is_member t.frameworks.(0) h
+
+let add_host ~rng t h = Array.iter (fun fw -> Framework.add_host ~rng fw h) t.frameworks
+let remove_host ~rng t h = Array.iter (fun fw -> Framework.remove_host ~rng fw h) t.frameworks
+let primary t = t.frameworks.(0)
+let frameworks t = Array.copy t.frameworks
+
+let labels t host = Array.map (fun fw -> Framework.label fw host) t.frameworks
+
+let median values =
+  let sorted = Array.copy values in
+  Array.sort compare sorted;
+  let m = Array.length sorted in
+  if m land 1 = 1 then sorted.(m / 2)
+  else (sorted.((m / 2) - 1) +. sorted.(m / 2)) /. 2.0
+
+let label_dist la lb =
+  let m = Array.length la in
+  if m <> Array.length lb then invalid_arg "Ensemble.label_dist: label arity mismatch";
+  median (Array.init m (fun i -> Label.dist la.(i) lb.(i)))
+
+let predicted t i j =
+  median (Array.map (fun fw -> Framework.predicted fw i j) t.frameworks)
+
+let predicted_bw ?c t i j =
+  if i = j then Float.infinity else Bwc_metric.Bandwidth.of_distance ?c (predicted t i j)
+
+let measured t i j = t.space.Space.dist i j
+
+let anchor_neighbors t h = Framework.anchor_neighbors (primary t) h
+
+let measurements_total t =
+  Array.fold_left (fun acc fw -> acc + Framework.measurements_total fw) 0 t.frameworks
+
+let relative_errors ?c t =
+  let mem = Array.of_list (members t) in
+  let m = Array.length mem in
+  let out = Array.make (Stdlib.max 1 (m * (m - 1) / 2)) 0.0 in
+  let pos = ref 0 in
+  for a = 0 to m - 1 do
+    for b = a + 1 to m - 1 do
+      let i = mem.(a) and j = mem.(b) in
+      let real = Bwc_metric.Bandwidth.of_distance ?c (measured t i j) in
+      let pred = Bwc_metric.Bandwidth.of_distance ?c (predicted t i j) in
+      out.(!pos) <- Float.abs (real -. pred) /. real;
+      incr pos
+    done
+  done;
+  Array.sub out 0 !pos

@@ -1,0 +1,148 @@
+module Rng = Bwc_stats.Rng
+module Space = Bwc_metric.Space
+
+type mode = {
+  base : Builder.base_strategy;
+  end_search : Builder.end_strategy;
+}
+
+let default_mode = { base = `Random; end_search = `Anchor_guided 16 }
+let centralized_mode = { base = `Root; end_search = `Exact }
+
+type t = {
+  space : Space.t;
+  mode : mode;
+  mutable tree : Tree.t;
+  mutable anchor : Anchor.t;
+  labels : (int, Label.t) Hashtbl.t;
+  mutable order : int list; (* insertion order of current members, root first *)
+  mutable measurements : int;
+}
+
+let insert ~rng t host =
+  let outcome =
+    Builder.add_host ~d:t.space.Space.dist ~rng ~base:t.mode.base
+      ~strategy:t.mode.end_search ~tree:t.tree ~anchor:t.anchor ~labels:t.labels host
+  in
+  t.measurements <- t.measurements + outcome.Builder.measurements
+
+let check_host t h =
+  if h < 0 || h >= t.space.Space.n then invalid_arg "Framework: host id out of range"
+
+let build ~rng ?(mode = default_mode) ?members space =
+  let order =
+    match members with
+    | None -> Array.to_list (Rng.permutation rng space.Space.n)
+    | Some ms ->
+        let ms = Array.of_list (List.sort_uniq compare ms) in
+        Rng.shuffle rng ms;
+        Array.to_list ms
+  in
+  let t =
+    {
+      space;
+      mode;
+      tree = Tree.create ();
+      anchor = Anchor.create ();
+      labels = Hashtbl.create space.Space.n;
+      order;
+      measurements = 0;
+    }
+  in
+  List.iter
+    (fun h ->
+      check_host t h;
+      insert ~rng t h)
+    order;
+  t
+
+let size t = Hashtbl.length t.labels
+let tree t = t.tree
+let anchor t = t.anchor
+let is_member t h = Hashtbl.mem t.labels h
+let members t = t.order
+
+let label t h =
+  match Hashtbl.find_opt t.labels h with
+  | Some l -> l
+  | None -> invalid_arg "Framework.label: unknown host"
+
+let insertion_order t = Array.of_list t.order
+let predicted t i j = Label.dist (label t i) (label t j)
+
+let predicted_bw ?c t i j =
+  if i = j then Float.infinity else Bwc_metric.Bandwidth.of_distance ?c (predicted t i j)
+
+let measured t i j = t.space.Space.dist i j
+let measurements_total t = t.measurements
+
+let relative_errors ?c t =
+  let members = Array.of_list t.order in
+  let m = Array.length members in
+  let out = Array.make (Stdlib.max 1 (m * (m - 1) / 2)) 0.0 in
+  let pos = ref 0 in
+  for a = 0 to m - 1 do
+    for b = a + 1 to m - 1 do
+      let i = members.(a) and j = members.(b) in
+      let real = Bwc_metric.Bandwidth.of_distance ?c (measured t i j) in
+      let pred = Bwc_metric.Bandwidth.of_distance ?c (predicted t i j) in
+      out.(!pos) <- Float.abs (real -. pred) /. real;
+      incr pos
+    done
+  done;
+  Array.sub out 0 !pos
+
+let rebuild ~rng t =
+  t.tree <- Tree.create ();
+  Hashtbl.reset t.labels;
+  t.anchor <- Anchor.create ();
+  List.iter (insert ~rng t) t.order
+
+let add_host ~rng t h =
+  check_host t h;
+  if is_member t h then invalid_arg "Framework.add_host: already a member";
+  t.order <- t.order @ [ h ];
+  insert ~rng t h
+
+(* Splice the leaf out when nothing anchors beneath it; otherwise rebuild
+   the whole framework from the remaining members (their labels would
+   dangle). *)
+let remove_host ~rng t h =
+  check_host t h;
+  if not (is_member t h) then invalid_arg "Framework.remove_host: not a member";
+  if size t <= 1 then invalid_arg "Framework.remove_host: cannot empty the framework";
+  t.order <- List.filter (fun x -> x <> h) t.order;
+  if Anchor.root t.anchor = h then rebuild ~rng t
+  else begin
+    match Tree.remove_host t.tree ~host:h with
+    | Ok () -> (
+        match Anchor.remove_leaf t.anchor h with
+        | Ok () -> Hashtbl.remove t.labels h
+        | Error `Not_leaf ->
+            (* the two structures disagree; cannot happen, but fail safe *)
+            rebuild ~rng t)
+    | Error `Has_dependents -> rebuild ~rng t
+  end
+
+(* Labels depend on ancestors' geometry, so after a leaf-level change only
+   the re-added host's label is recomputed by [insert]; a structural change
+   (dependents) invalidates descendants' labels and forces a rebuild. *)
+let refresh_host ~rng t h =
+  check_host t h;
+  if not (is_member t h) then invalid_arg "Framework.refresh_host: not a member";
+  if Anchor.root t.anchor = h then rebuild ~rng t
+  else begin
+    let removable =
+      match Tree.remove_host t.tree ~host:h with
+      | Ok () -> (
+          match Anchor.remove_leaf t.anchor h with
+          | Ok () ->
+              Hashtbl.remove t.labels h;
+              true
+          | Error `Not_leaf -> false)
+      | Error `Has_dependents -> false
+    in
+    if removable then insert ~rng t h else rebuild ~rng t
+  end
+
+let anchor_neighbors t h = Anchor.neighbors t.anchor h

@@ -1,0 +1,81 @@
+(** The decentralized bandwidth prediction framework (Sec. II-D), i.e. the
+    substrate the clustering system runs on: a prediction tree plus the
+    anchor-tree overlay plus per-host distance labels.
+
+    [build] simulates hosts joining one at a time in a random order,
+    exactly as the real system would grow; all predicted distances are
+    then pure functions of the distance labels, so every later consumer
+    (Algorithms 2-4) only uses information a real node would hold
+    locally. *)
+
+type mode = {
+  base : Builder.base_strategy;      (** how each joining host picks its base leaf *)
+  end_search : Builder.end_strategy; (** how it finds the Gromov maximiser *)
+}
+
+val default_mode : mode
+(** [`Random] base, budgeted [`Anchor_guided] end search: the
+    decentralised configuration. *)
+
+val centralized_mode : mode
+(** [`Root] base, [`Exact] end search: what a centralised Sequoia-style
+    builder does; used by the E8 ablation. *)
+
+type t
+
+val build :
+  rng:Bwc_stats.Rng.t -> ?mode:mode -> ?members:int list -> Bwc_metric.Space.t -> t
+(** [build ~rng ~mode ~members space] inserts the member hosts (default:
+    all [space.n] hosts) in a random order.  [space] provides the
+    {e measured} distances (already under the rational transform). *)
+
+val size : t -> int
+(** Current member count. *)
+
+val members : t -> int list
+(** Current members in insertion order (root first). *)
+
+val is_member : t -> int -> bool
+val tree : t -> Tree.t
+val anchor : t -> Anchor.t
+val label : t -> int -> Label.t
+val insertion_order : t -> int array
+
+val predicted : t -> int -> int -> float
+(** Predicted distance [d_T(i, j)], computed from the two labels. *)
+
+val predicted_bw : ?c:float -> t -> int -> int -> float
+(** [BW_T(i, j) = C / d_T(i, j)]. *)
+
+val measured : t -> int -> int -> float
+(** The underlying measured distance (for evaluation only; a real node
+    does not have this). *)
+
+val measurements_total : t -> int
+(** Total pairwise measurements charged during construction — the cost the
+    framework saves compared to full n-to-n probing. *)
+
+val relative_errors : ?c:float -> t -> float array
+(** Per-pair relative bandwidth-prediction error
+    [|BW - BW_T| / BW] over all host pairs — the statistic plotted as a
+    CDF in Fig. 3(b,d). *)
+
+val add_host : rng:Bwc_stats.Rng.t -> t -> int -> unit
+(** A host joins the system: it is placed into the prediction tree and the
+    anchor overlay exactly as during [build].  The host must be a point of
+    the underlying space and not yet a member. *)
+
+val remove_host : rng:Bwc_stats.Rng.t -> t -> int -> unit
+(** A host leaves.  When nothing anchors beneath it the leaf is spliced
+    out in O(tree); otherwise (or for the overlay root) the framework is
+    rebuilt from the remaining members.  Removing the last member is
+    refused. *)
+
+val refresh_host : rng:Bwc_stats.Rng.t -> t -> int -> unit
+(** Re-inserts one host using current measurements (network conditions
+    changed).  Falls back to removing and re-adding; if the host anchors
+    other subtrees the whole framework is rebuilt with the original
+    insertion order. *)
+
+val anchor_neighbors : t -> int -> int list
+(** Overlay neighborhood of a host. *)

@@ -1,0 +1,80 @@
+(** The prediction tree: a growable edge-weighted tree whose leaves are
+    hosts and whose inner nodes are created by node additions (Sec. II-D).
+
+    Every edge remembers its {e owner}: the host whose addition created it.
+    When an edge is split by a later insertion both halves keep the owner;
+    this is exactly the information needed to define anchor nodes ("the
+    node that was previously added along with the edge that the new node's
+    inner node is located on").
+
+    Vertices are identified by dense integer ids.  Distances are exact path
+    sums; the tree is small (at most [2n] vertices for [n] hosts) so the
+    O(tree) traversals here are never a bottleneck — hot paths use
+    {!Label} distances instead. *)
+
+type t
+
+type vertex = int
+
+type kind =
+  | Host of int  (** a participating host, identified by its host id *)
+  | Inner        (** an attachment point created by an insertion *)
+
+val create : unit -> t
+
+val add_first_host : t -> host:int -> vertex
+(** Initialises the tree with its first (root) host.  Must be called
+    exactly once, first. *)
+
+val add_host :
+  t -> host:int -> between:vertex * vertex -> at:float -> leaf_weight:float ->
+  vertex * vertex * int * float
+(** [add_host t ~host ~between:(z, y) ~at ~leaf_weight] places the new
+    host's inner node on the path from [z] to [y] at distance [at] from
+    [z] (clamped into [[0, dist z y]]), splitting the edge it lands on, and
+    hangs the host leaf off it with [leaf_weight] (clamped to
+    non-negative).  With a single-vertex tree (only the root host), [at]
+    is ignored and the host is attached directly to the root with the
+    root as its inner node.
+
+    Returns [(host_vertex, inner_vertex, anchor_host, anchor_offset)]
+    where [anchor_host] owns the edge the inner node landed on (the root
+    host for the second insertion) and [anchor_offset] is the tree
+    distance from the anchor host's own vertex to the inner node. *)
+
+val remove_host : t -> host:int -> (unit, [ `Has_dependents ]) result
+(** Removes a host leaf and splices out its inner node.  Fails with
+    [`Has_dependents] if other subtrees are attached to edges this host
+    owns (their anchor would dangle); the caller then falls back to a
+    rebuild.  Removing the root host is also refused this way. *)
+
+val vertex_of_host : t -> int -> vertex
+(** Raises [Not_found] for unknown hosts. *)
+
+val kind : t -> vertex -> kind
+val hosts : t -> int list
+(** All host ids currently in the tree. *)
+
+val vertex_count : t -> int
+
+val dist : t -> vertex -> vertex -> float
+(** Exact path-sum distance. *)
+
+val host_dist : t -> int -> int -> float
+(** [dist] between two hosts' vertices. *)
+
+val neighbors : t -> vertex -> (vertex * float * int) list
+(** Adjacent vertices with edge weight and owner host. *)
+
+val degree : t -> vertex -> int
+
+val is_tree : t -> bool
+(** Structural sanity: connected and acyclic (used by tests). *)
+
+val total_weight : t -> float
+
+val pp : Format.formatter -> t -> unit
+
+val to_dot : ?label:string -> t -> string
+(** Graphviz rendering of the live tree: hosts as boxes, inner nodes as
+    points, edges annotated with weight and owner. *)

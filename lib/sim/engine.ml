@@ -1,0 +1,112 @@
+module Rng = Bwc_stats.Rng
+
+type 'msg t = {
+  rng : Rng.t;
+  n : int;
+  active : bool array;
+  edge_delay : src:int -> dst:int -> int;
+  (* messages in flight: delivery round -> (dst, src, msg), FIFO within a
+     round because the table holds reversed lists flipped at delivery *)
+  in_flight : (int, (int * int * 'msg) list) Hashtbl.t;
+  inbox : (int * 'msg) Queue.t array; (* being consumed this round *)
+  mutable flying : int;
+  mutable round : int;
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let create ?(edge_delay = fun ~src:_ ~dst:_ -> 1) ~rng n =
+  if n <= 0 then invalid_arg "Engine.create: n <= 0";
+  {
+    rng;
+    n;
+    active = Array.make n true;
+    edge_delay;
+    in_flight = Hashtbl.create 64;
+    inbox = Array.init n (fun _ -> Queue.create ());
+    flying = 0;
+    round = 0;
+    sent = 0;
+    dropped = 0;
+  }
+
+let n t = t.n
+let round t = t.round
+
+let check t i = if i < 0 || i >= t.n then invalid_arg "Engine: node id out of range"
+
+let send t ~src ~dst msg =
+  check t src;
+  check t dst;
+  if t.active.(dst) then begin
+    let delay = Stdlib.max 1 (t.edge_delay ~src ~dst) in
+    let due = t.round + delay in
+    let waiting = Option.value ~default:[] (Hashtbl.find_opt t.in_flight due) in
+    Hashtbl.replace t.in_flight due ((dst, src, msg) :: waiting);
+    t.flying <- t.flying + 1;
+    t.sent <- t.sent + 1
+  end
+  else t.dropped <- t.dropped + 1
+
+let set_active t i b =
+  check t i;
+  t.active.(i) <- b;
+  if not b then begin
+    (* drop queued and in-flight traffic to a departed node *)
+    Hashtbl.filter_map_inplace
+      (fun _ waiting ->
+        let keep, drop = List.partition (fun (dst, _, _) -> dst <> i) waiting in
+        t.flying <- t.flying - List.length drop;
+        t.dropped <- t.dropped + List.length drop;
+        if keep = [] then None else Some keep)
+      t.in_flight;
+    Queue.clear t.inbox.(i)
+  end
+
+let is_active t i =
+  check t i;
+  t.active.(i)
+
+let active_count t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.active
+
+let run_round t ~step =
+  (* Advance the clock, then deliver everything due at the new round;
+     sends during the round are stamped with the new time, so a 1-round
+     delay reproduces the classic "visible next round" model. *)
+  t.round <- t.round + 1;
+  let delivered = ref 0 in
+  (match Hashtbl.find_opt t.in_flight t.round with
+  | Some waiting ->
+      Hashtbl.remove t.in_flight t.round;
+      List.iter
+        (fun (dst, src, msg) ->
+          t.flying <- t.flying - 1;
+          if t.active.(dst) then begin
+            Queue.add (src, msg) t.inbox.(dst);
+            incr delivered
+          end
+          else t.dropped <- t.dropped + 1)
+        (List.rev waiting)
+  | None -> ());
+  let order = Rng.permutation t.rng t.n in
+  let changed = ref false in
+  Array.iter
+    (fun i ->
+      if t.active.(i) then begin
+        let msgs = List.of_seq (Queue.to_seq t.inbox.(i)) in
+        Queue.clear t.inbox.(i);
+        if step i msgs then changed := true
+      end)
+    order;
+  !changed || !delivered > 0 || t.flying > 0
+
+let run_until_stable t ~max_rounds ~step =
+  let rec loop r =
+    if r >= max_rounds then `Max_rounds
+    else if run_round t ~step then loop (r + 1)
+    else `Stable (r + 1)
+  in
+  loop 0
+
+let messages_sent t = t.sent
+let dropped t = t.dropped

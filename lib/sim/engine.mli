@@ -1,0 +1,45 @@
+(** A cycle-driven P2P simulation engine in the PeerSim mould.
+
+    Nodes run synchronised rounds.  Messages sent during round [r] are
+    delivered at the start of round [r+1] — the classic gossip model the
+    paper's aggregation protocols (Algorithms 2 and 3) assume.  Node step
+    order within a round is randomised, inactive nodes neither step nor
+    receive, and the engine reports both per-round activity and message
+    totals so experiments can account for protocol overhead. *)
+
+type 'msg t
+
+val create : ?edge_delay:(src:int -> dst:int -> int) -> rng:Bwc_stats.Rng.t -> int -> 'msg t
+(** [create ~rng n] allocates [n] node slots, all initially active.  [edge_delay] gives each
+    directed edge a fixed delivery delay in rounds (default: 1 round for
+    every edge, the classic lockstep model).  A fixed per-edge delay
+    keeps links FIFO, which gossip protocols that only re-send on change
+    rely on; values below 1 are clamped to 1. *)
+
+val n : 'msg t -> int
+val round : 'msg t -> int
+(** Rounds completed so far. *)
+
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+(** Enqueues for delivery next round.  Messages to inactive nodes are
+    dropped (counted in {!dropped}). *)
+
+val set_active : 'msg t -> int -> bool -> unit
+val is_active : 'msg t -> int -> bool
+val active_count : 'msg t -> int
+
+val run_round : 'msg t -> step:(int -> (int * 'msg) list -> bool) -> bool
+(** Delivers every message whose delay has elapsed, then steps each active
+    node in random order with its inbox (list of [(src, msg)], oldest
+    first).  [step] returns whether the node's state changed; the round
+    returns whether {e any} node changed, any message was delivered, or
+    messages are still in flight. *)
+
+val run_until_stable :
+  'msg t -> max_rounds:int -> step:(int -> (int * 'msg) list -> bool) ->
+  [ `Stable of int | `Max_rounds ]
+(** Runs rounds until one reports no change (returns how many rounds ran),
+    or gives up after [max_rounds]. *)
+
+val messages_sent : 'msg t -> int
+val dropped : 'msg t -> int

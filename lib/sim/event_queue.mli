@@ -1,0 +1,21 @@
+(** A discrete-event priority queue (binary heap on time, FIFO within equal
+    timestamps).  The round-based {!Engine} covers the paper's
+    cycle-driven simulations; this queue backs the latency-aware query
+    simulations and churn schedules. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val add : 'a t -> time:float -> 'a -> unit
+(** [time] must be non-negative. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Earliest event; ties resolve in insertion order. *)
+
+val peek_time : 'a t -> float option
+
+val drain_until : 'a t -> time:float -> (float * 'a) list
+(** Removes and returns every event with timestamp [<= time], in order. *)

@@ -1,0 +1,18 @@
+(** Online mean/variance accumulation (Welford's algorithm), used by
+    long-running simulation observers that cannot afford to retain every
+    sample. *)
+
+type t
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** [0.] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] for fewer than two samples. *)
+
+val stddev : t -> float
+val merge : t -> t -> t
+(** Combines two accumulators as if all samples had been added to one. *)

@@ -1,0 +1,967 @@
+(* Tests for bwc_core: Algorithm 1 and its theorems (3.1), the
+   precomputed index, bandwidth classes, the decentralized protocol
+   (Theorems 3.2 and 3.3 checked against ground truth computed from the
+   anchor topology), query routing (Algorithm 4), node search, and the
+   system facade. *)
+
+module Rng = Bwc_stats.Rng
+module Space = Bwc_metric.Space
+module Find_cluster = Bwc_core.Find_cluster
+module Classes = Bwc_core.Classes
+module Node_info = Bwc_core.Node_info
+module Protocol = Bwc_core.Protocol
+module System = Bwc_core.System
+module Query = Bwc_core.Query
+module Ensemble = Bwc_predtree.Ensemble
+module Anchor = Bwc_predtree.Anchor
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.abs a)
+
+let tree_space ~seed n =
+  Space.of_dmatrix (Bwc_dataset.Hier_tree.distance_matrix ~rng:(Rng.create seed) ~n ())
+
+let small_dataset ~seed n =
+  Bwc_dataset.Planetlab.generate ~rng:(Rng.create seed) ~name:"test-ds"
+    { Bwc_dataset.Planetlab.hp_target with n }
+
+(* brute force: does a k-subset with diameter <= l exist in the space? *)
+let brute_exists space k l =
+  let n = space.Space.n in
+  let rec choose start acc count =
+    if count = k then begin
+      let ok = ref true in
+      List.iteri
+        (fun i x ->
+          List.iteri (fun j y -> if j > i && space.Space.dist x y > l then ok := false) acc)
+        acc;
+      !ok
+    end
+    else if start >= n then false
+    else choose (start + 1) (start :: acc) (count + 1) || choose (start + 1) acc count
+  in
+  choose 0 [] 0
+
+(* ----- Algorithm 1 ----- *)
+
+let test_members_definition () =
+  let space = tree_space ~seed:1 12 in
+  for p = 0 to 11 do
+    for q = p + 1 to 11 do
+      let dpq = space.Space.dist p q in
+      let s = Find_cluster.members space ~p ~q in
+      Alcotest.(check bool) "p in S" true (List.mem p s);
+      Alcotest.(check bool) "q in S" true (List.mem q s);
+      for x = 0 to 11 do
+        let belongs = space.Space.dist x p <= dpq && space.Space.dist x q <= dpq in
+        if belongs <> List.mem x s then Alcotest.failf "membership wrong for %d" x
+      done
+    done
+  done
+
+let test_theorem_3_1_diameter () =
+  (* in a tree metric, diam S*_pq = d(p,q) *)
+  let space = tree_space ~seed:2 15 in
+  for p = 0 to 14 do
+    for q = p + 1 to 14 do
+      let s = Find_cluster.members space ~p ~q in
+      let diam = Space.diameter space s in
+      if not (feq ~eps:1e-6 diam (space.Space.dist p q)) then
+        Alcotest.failf "diam %g <> d(p,q) %g" diam (space.Space.dist p q)
+    done
+  done
+
+let test_find_returns_valid_cluster () =
+  let space = tree_space ~seed:3 20 in
+  let l = Bwc_stats.Summary.median (Bwc_metric.Dmatrix.off_diagonal_values (Space.to_dmatrix space)) in
+  match Find_cluster.find space ~k:5 ~l with
+  | None -> Alcotest.fail "median-l query should be feasible"
+  | Some cluster ->
+      Alcotest.(check int) "size" 5 (List.length cluster);
+      Alcotest.(check bool) "diameter" true (Space.diameter space cluster <= l *. (1.0 +. 1e-9));
+      let sorted = List.sort_uniq compare cluster in
+      Alcotest.(check int) "distinct" 5 (List.length sorted)
+
+let test_find_vs_brute_force () =
+  for seed = 10 to 25 do
+    let n = 8 in
+    let space = tree_space ~seed n in
+    let values = Bwc_metric.Dmatrix.off_diagonal_values (Space.to_dmatrix space) in
+    List.iter
+      (fun pct ->
+        let l = Bwc_stats.Summary.percentile values pct in
+        List.iter
+          (fun k ->
+            let found = Find_cluster.find space ~k ~l <> None in
+            let expected = brute_exists space k l in
+            if found <> expected then
+              Alcotest.failf "seed=%d k=%d pct=%.0f: alg1 %b brute %b" seed k pct found
+                expected)
+          [ 2; 3; 4; 6 ])
+      [ 20.0; 50.0; 80.0 ]
+  done
+
+let test_max_size_vs_brute_force () =
+  for seed = 30 to 38 do
+    let space = tree_space ~seed 7 in
+    let values = Bwc_metric.Dmatrix.off_diagonal_values (Space.to_dmatrix space) in
+    let l = Bwc_stats.Summary.percentile values 50.0 in
+    let rec largest k = if k < 2 then 1 else if brute_exists space k l then k else largest (k - 1) in
+    Alcotest.(check int) "max size" (largest 7) (Find_cluster.max_size space ~l)
+  done
+
+let test_find_infeasible () =
+  let space = tree_space ~seed:4 10 in
+  Alcotest.(check bool) "tiny l fails for k=3" true
+    (Find_cluster.find space ~k:3 ~l:1e-12 = None);
+  Alcotest.(check bool) "k > n fails" true (Find_cluster.find space ~k:11 ~l:1e12 = None)
+
+let test_index_consistency () =
+  let space = tree_space ~seed:5 18 in
+  let index = Find_cluster.Index.build space in
+  let values = Bwc_metric.Dmatrix.off_diagonal_values (Space.to_dmatrix space) in
+  List.iter
+    (fun pct ->
+      let l = Bwc_stats.Summary.percentile values pct in
+      List.iter
+        (fun k ->
+          let direct = Find_cluster.find space ~k ~l in
+          let indexed = Find_cluster.Index.find index ~k ~l in
+          Alcotest.(check bool) "feasibility agrees" (direct <> None) (indexed <> None);
+          Alcotest.(check bool) "exists agrees" (direct <> None)
+            (Find_cluster.Index.exists index ~k ~l);
+          (* identical scan order must give identical clusters *)
+          Alcotest.(check (option (list int))) "same cluster" direct indexed)
+        [ 2; 4; 7 ];
+      Alcotest.(check int) "max size agrees"
+        (Find_cluster.max_size space ~l)
+        (Find_cluster.Index.max_size index ~l))
+    [ 10.0; 40.0; 70.0; 95.0 ]
+
+let test_index_max_sizes_vector () =
+  let space = tree_space ~seed:6 14 in
+  let index = Find_cluster.Index.build space in
+  let ls = [| 1.0; 50.0; 500.0; 5000.0 |] in
+  let sizes = Find_cluster.Index.max_sizes index ~ls in
+  Array.iteri
+    (fun i l -> Alcotest.(check int) "entry" (Find_cluster.Index.max_size index ~l) sizes.(i))
+    ls;
+  (* max size is monotone in l *)
+  for i = 1 to Array.length sizes - 1 do
+    if sizes.(i) < sizes.(i - 1) then Alcotest.fail "max size must grow with l"
+  done
+
+(* ----- Classes ----- *)
+
+let test_classes_mapping () =
+  let classes = Classes.make ~c:1000.0 [ 10.0; 20.0; 40.0; 80.0 ] in
+  Alcotest.(check int) "count" 4 (Classes.count classes);
+  (* cheapest class guaranteeing b *)
+  Alcotest.(check (option int)) "b=15 -> 20" (Some 1) (Classes.class_for classes ~b:15.0);
+  Alcotest.(check (option int)) "b=10 -> 10" (Some 0) (Classes.class_for classes ~b:10.0);
+  Alcotest.(check (option int)) "b=80 -> 80" (Some 3) (Classes.class_for classes ~b:80.0);
+  Alcotest.(check (option int)) "b beyond classes" None (Classes.class_for classes ~b:81.0);
+  (* distances are index-aligned inverses *)
+  Alcotest.(check (float 1e-9)) "distance" 50.0 (Classes.distance classes 1);
+  Alcotest.(check (option int)) "distance mapping" (Some 1)
+    (Classes.class_for_distance classes ~l:50.0)
+
+let test_classes_guarantee () =
+  (* the mapped class always guarantees the requested bandwidth *)
+  let classes = Classes.make ~c:1000.0 [ 12.0; 33.0; 57.0; 91.0 ] in
+  let rng = Rng.create 7 in
+  for _ = 1 to 500 do
+    let b = Rng.uniform rng 1.0 91.0 in
+    match Classes.class_for classes ~b with
+    | None -> Alcotest.fail "b within range must map"
+    | Some i -> Alcotest.(check bool) "guarantee" true (Classes.bandwidth classes i >= b)
+  done
+
+let test_classes_of_percentiles () =
+  let ds = small_dataset ~seed:8 40 in
+  let classes = Classes.of_percentiles ~count:6 ds in
+  Alcotest.(check bool) "at most 6 (dedup)" true (Classes.count classes <= 6);
+  let bws = Classes.bandwidths classes in
+  for i = 1 to Array.length bws - 1 do
+    if bws.(i) <= bws.(i - 1) then Alcotest.fail "ascending"
+  done
+
+(* ----- Protocol: aggregation correctness (Theorems 3.2 / 3.3) ----- *)
+
+let build_protocol ?ensemble_size ~seed n =
+  let ds = small_dataset ~seed n in
+  let space = Bwc_dataset.Dataset.metric ds in
+  let ens = Ensemble.build ~rng:(Rng.create (seed + 1)) ?size:ensemble_size space in
+  let classes = Classes.of_percentiles ~count:5 ds in
+  let protocol = Protocol.create ~rng:(Rng.create (seed + 2)) ~n_cut:4 ~classes ens in
+  let (_ : int) = Protocol.run_aggregation protocol in
+  (ds, ens, protocol)
+
+(* hosts reachable from x via neighbor m on the anchor tree *)
+let reachable_via anchor ~x ~m =
+  let rec collect h blocked acc =
+    List.fold_left
+      (fun acc nb -> if nb = blocked || List.mem nb acc then acc else collect nb h acc)
+      (h :: acc) (Anchor.neighbors anchor h)
+  in
+  List.filter (fun h -> h <> x) (collect m x [])
+
+let test_theorem_3_2_aggr_node () =
+  (* Theorem 3.2 is stated for a single prediction tree: with an ensemble
+     the ranking distance (median over trees) is not additive along the
+     tree, so exact top-n_cut optimality only holds at ensemble size 1. *)
+  let _, ens, protocol = build_protocol ~ensemble_size:1 ~seed:9 28 in
+  let anchor_tree = Bwc_predtree.Framework.anchor (Ensemble.primary ens) in
+  let n_cut = Protocol.n_cut protocol in
+  for x = 0 to 27 do
+    List.iter
+      (fun m ->
+        let got = Protocol.aggregated_nodes protocol x m in
+        let u = reachable_via anchor_tree ~x ~m in
+        let labels_x = Ensemble.labels ens x in
+        let dist_to_x h = Ensemble.label_dist labels_x (Ensemble.labels ens h) in
+        (* size: exactly min n_cut |U| *)
+        Alcotest.(check int)
+          (Printf.sprintf "size of aggrNode[%d->%d]" x m)
+          (Stdlib.min n_cut (List.length u))
+          (List.length got);
+        (* membership and top-n_cut optimality *)
+        let got_hosts = List.map (fun i -> i.Node_info.host) got in
+        List.iter
+          (fun h ->
+            if not (List.mem h u) then Alcotest.failf "host %d not reachable via %d" h m)
+          got_hosts;
+        let worst_kept =
+          List.fold_left (fun acc h -> Float.max acc (dist_to_x h)) 0.0 got_hosts
+        in
+        List.iter
+          (fun h ->
+            if not (List.mem h got_hosts) && dist_to_x h +. 1e-9 < worst_kept then
+              Alcotest.failf
+                "host %d (d=%.3f) beats kept worst (%.3f) in aggrNode[%d->%d]" h
+                (dist_to_x h) worst_kept x m)
+          u)
+      (Ensemble.anchor_neighbors ens x)
+  done
+
+let test_theorem_3_2_weak_for_ensembles () =
+  (* with the median ensemble the aggregated sets must still be correct
+     subsets of the reachable hosts with the right cardinality *)
+  let _, ens, protocol = build_protocol ~seed:9 22 in
+  let anchor_tree = Bwc_predtree.Framework.anchor (Ensemble.primary ens) in
+  let n_cut = Protocol.n_cut protocol in
+  for x = 0 to 21 do
+    List.iter
+      (fun m ->
+        let got = Protocol.aggregated_nodes protocol x m in
+        let u = reachable_via anchor_tree ~x ~m in
+        Alcotest.(check int) "cardinality" (Stdlib.min n_cut (List.length u))
+          (List.length got);
+        List.iter
+          (fun info ->
+            if not (List.mem info.Node_info.host u) then
+              Alcotest.failf "host %d not reachable via %d" info.Node_info.host m)
+          got)
+      (Ensemble.anchor_neighbors ens x)
+  done
+
+let test_payload_bounded_by_ncut () =
+  (* the n_cut knob really bounds what travels in every aggregation
+     message, for every node and neighbor *)
+  let _, ens, protocol = build_protocol ~seed:35 30 in
+  let n_cut = Protocol.n_cut protocol in
+  for x = 0 to 29 do
+    List.iter
+      (fun m ->
+        let got = Protocol.aggregated_nodes protocol x m in
+        if List.length got > n_cut then
+          Alcotest.failf "aggrNode[%d->%d] exceeds n_cut" x m)
+      (Ensemble.anchor_neighbors ens x)
+  done
+
+let test_theorem_3_3_aggr_crt () =
+  let _, ens, protocol = build_protocol ~seed:10 24 in
+  let anchor_tree = Bwc_predtree.Framework.anchor (Ensemble.primary ens) in
+  let classes = Protocol.classes protocol in
+  for x = 0 to 23 do
+    List.iter
+      (fun m ->
+        let got = Protocol.crt_row protocol x m in
+        let u = reachable_via anchor_tree ~x ~m in
+        (* ground truth: max over reachable hosts' own rows *)
+        for cls = 0 to Classes.count classes - 1 do
+          let expected =
+            List.fold_left
+              (fun acc w -> Stdlib.max acc (Protocol.crt_row protocol w w).(cls))
+              0 u
+          in
+          if got.(cls) <> expected then
+            Alcotest.failf "aggrCRT[%d->%d][%d] = %d, ground truth %d" x m cls got.(cls)
+              expected
+        done)
+      (Ensemble.anchor_neighbors ens x)
+  done
+
+let test_global_max_agrees_everywhere () =
+  (* the CRT aggregation propagates the max cluster size across the whole
+     anchor tree, so after convergence every host believes the same
+     global maximum per class *)
+  let _, _, protocol = build_protocol ~seed:31 26 in
+  let classes = Protocol.classes protocol in
+  for cls = 0 to Classes.count classes - 1 do
+    let values =
+      List.init 26 (fun x -> Protocol.max_reachable protocol x ~cls)
+    in
+    match values with
+    | first :: rest ->
+        List.iteri
+          (fun i v ->
+            if v <> first then
+              Alcotest.failf "host %d sees %d for class %d, host 0 sees %d" (i + 1) v cls
+                first)
+          rest
+    | [] -> Alcotest.fail "no hosts"
+  done
+
+let test_convergence_rounds_bounded () =
+  (* information must cross the anchor tree once in each direction, so
+     quiescence arrives within ~2x the tree depth (plus slack for the
+     initial flush) *)
+  let ds = small_dataset ~seed:32 30 in
+  let space = Bwc_dataset.Dataset.metric ds in
+  let ens = Ensemble.build ~rng:(Rng.create 33) space in
+  let classes = Classes.of_percentiles ~count:5 ds in
+  let protocol = Protocol.create ~rng:(Rng.create 34) ~n_cut:4 ~classes ens in
+  let rounds = Protocol.run_aggregation protocol in
+  let depth = Anchor.max_depth (Bwc_predtree.Framework.anchor (Ensemble.primary ens)) in
+  if rounds > (2 * depth) + 4 then
+    Alcotest.failf "converged in %d rounds, depth only %d" rounds depth
+
+let test_delays_reach_same_fixpoint () =
+  (* heterogeneous FIFO link delays slow convergence but must not change
+     what the aggregation converges to *)
+  let ds = small_dataset ~seed:36 22 in
+  let space = Bwc_dataset.Dataset.metric ds in
+  let classes = Classes.of_percentiles ~count:5 ds in
+  let make ?edge_delay () =
+    let ens = Ensemble.build ~rng:(Rng.create 37) space in
+    let p = Protocol.create ~rng:(Rng.create 38) ~n_cut:4 ?edge_delay ~classes ens in
+    let (_ : int) = Protocol.run_aggregation ~max_rounds:400 p in
+    (ens, p)
+  in
+  let ens, fast = make () in
+  let delay_rng = Rng.create 39 in
+  let delays = Hashtbl.create 64 in
+  let edge_delay ~src ~dst =
+    match Hashtbl.find_opt delays (src, dst) with
+    | Some d -> d
+    | None ->
+        let d = 1 + Rng.int delay_rng 4 in
+        Hashtbl.add delays (src, dst) d;
+        d
+  in
+  let _, slow = make ~edge_delay () in
+  for x = 0 to 21 do
+    (* own rows agree *)
+    Alcotest.(check (array int))
+      (Printf.sprintf "own row of %d" x)
+      (Protocol.crt_row fast x x) (Protocol.crt_row slow x x);
+    (* neighbor columns agree *)
+    List.iter
+      (fun m ->
+        Alcotest.(check (array int))
+          (Printf.sprintf "column %d->%d" x m)
+          (Protocol.crt_row fast x m) (Protocol.crt_row slow x m))
+      (Ensemble.anchor_neighbors ens x)
+  done
+
+let test_aggregation_quiescence () =
+  let _, _, protocol = build_protocol ~seed:11 20 in
+  (* a further round on a static network must be a no-op *)
+  Alcotest.(check bool) "quiescent" false (Protocol.run_round protocol)
+
+(* ----- Algorithm 4: query routing ----- *)
+
+let test_query_finds_promised_clusters () =
+  let _, _, protocol = build_protocol ~seed:12 26 in
+  let classes = Protocol.classes protocol in
+  for x = 0 to 25 do
+    for cls = 0 to Classes.count classes - 1 do
+      let promised = Protocol.max_reachable protocol x ~cls in
+      if promised >= 2 then begin
+        let r = Protocol.query protocol ~at:x ~k:promised ~cls in
+        match r.Query.cluster with
+        | Some cluster ->
+            Alcotest.(check int) "cluster size" promised (List.length cluster)
+        | None ->
+            Alcotest.failf "host %d promised k=%d for class %d but query missed" x
+              promised cls
+      end
+    done
+  done
+
+let test_query_miss_beyond_promise () =
+  let _, _, protocol = build_protocol ~seed:13 20 in
+  let classes = Protocol.classes protocol in
+  for x = 0 to 19 do
+    let cls = Classes.count classes - 1 in
+    let promised = Protocol.max_reachable protocol x ~cls in
+    let r = Protocol.query protocol ~at:x ~k:(promised + 1) ~cls in
+    (* the aggregated maxima are exact (Theorem 3.3), so k beyond the
+       promise must miss *)
+    if Query.found r then Alcotest.failf "host %d found more than promised" x
+  done
+
+let test_query_cluster_satisfies_predicted_constraint () =
+  let _, ens, protocol = build_protocol ~seed:14 26 in
+  let classes = Protocol.classes protocol in
+  let rng = Rng.create 15 in
+  for _ = 1 to 60 do
+    let at = Rng.int rng 26 in
+    let cls = Rng.int rng (Classes.count classes) in
+    let r = Protocol.query protocol ~at ~k:3 ~cls in
+    match r.Query.cluster with
+    | None -> ()
+    | Some cluster ->
+        let l = Classes.distance classes cls in
+        List.iteri
+          (fun i x ->
+            List.iteri
+              (fun j y ->
+                if j > i then begin
+                  let d = Ensemble.label_dist (Ensemble.labels ens x) (Ensemble.labels ens y) in
+                  if d > l *. (1.0 +. 1e-6) then
+                    Alcotest.failf "pair (%d,%d) predicted %.3f > l %.3f" x y d l
+                end)
+              cluster)
+          cluster
+  done
+
+let test_query_hops_bounded () =
+  let _, ens, protocol = build_protocol ~seed:16 30 in
+  let anchor_tree = Bwc_predtree.Framework.anchor (Ensemble.primary ens) in
+  let bound = 2 * Anchor.max_depth anchor_tree in
+  let rng = Rng.create 17 in
+  let classes = Protocol.classes protocol in
+  for _ = 1 to 100 do
+    let at = Rng.int rng 30 in
+    let cls = Rng.int rng (Classes.count classes) in
+    let r = Protocol.query protocol ~at ~k:(2 + Rng.int rng 8) ~cls in
+    if r.Query.hops > bound then Alcotest.failf "hops %d exceed bound %d" r.Query.hops bound;
+    (* the path is simple: no host visited twice *)
+    let sorted = List.sort_uniq compare r.Query.path in
+    Alcotest.(check int) "simple path" (List.length r.Query.path) (List.length sorted)
+  done
+
+let test_decentral_rr_bounded_by_central () =
+  let ds = small_dataset ~seed:18 40 in
+  let sys = System.create ~seed:19 ds in
+  let rng = Rng.create 20 in
+  let lo, hi = Bwc_dataset.Dataset.percentile_range ds ~lo:20.0 ~hi:80.0 in
+  for _ = 1 to 80 do
+    let k = 2 + Rng.int rng 20 in
+    let b = Rng.uniform rng lo hi in
+    let dec = Query.found (System.query sys ~k ~b) in
+    let cen = System.query_centralized sys ~k ~b <> None in
+    (* decentralized spaces are subsets of the full space *)
+    if dec && not cen then Alcotest.fail "decentralized found what centralized cannot"
+  done
+
+(* ----- Query module ----- *)
+
+let test_query_constructors () =
+  let q = Query.of_bandwidth ~c:1000.0 ~k:5 40.0 in
+  Alcotest.(check (float 1e-9)) "l" 25.0 q.Query.l;
+  Alcotest.(check (float 1e-9)) "roundtrip" 40.0 (Query.bandwidth_of ~c:1000.0 q);
+  Alcotest.(check bool) "k<2 rejected" true
+    (try
+       ignore (Query.make ~k:1 ~l:1.0);
+       false
+     with Invalid_argument _ -> true)
+
+(* ----- Clique oracle ----- *)
+
+(* brute force max clique on tiny graphs *)
+let brute_max_clique ~adj ~n =
+  let best = ref 0 in
+  for mask = 0 to (1 lsl n) - 1 do
+    let vertices = List.filter (fun v -> mask land (1 lsl v) <> 0) (List.init n Fun.id) in
+    let is_clique =
+      List.for_all
+        (fun u -> List.for_all (fun v -> u = v || adj u v) vertices)
+        vertices
+    in
+    if is_clique then best := Stdlib.max !best (List.length vertices)
+  done;
+  !best
+
+let test_clique_vs_brute () =
+  let rng = Rng.create 40 in
+  for _ = 1 to 60 do
+    let n = 3 + Rng.int rng 8 in
+    let edges = Array.make_matrix n n false in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Rng.float rng 1.0 < 0.5 then begin
+          edges.(i).(j) <- true;
+          edges.(j).(i) <- true
+        end
+      done
+    done;
+    let adj i j = i <> j && edges.(i).(j) in
+    let expected = Stdlib.max 1 (brute_max_clique ~adj ~n) in
+    (match Bwc_core.Clique.max_clique_size ~adj ~n () with
+    | Ok got -> if got <> expected then Alcotest.failf "max clique %d, brute %d" got expected
+    | Error (`Budget _) -> Alcotest.fail "budget too small for tiny graph");
+    for k = 2 to n do
+      match Bwc_core.Clique.exists_clique ~adj ~n ~k () with
+      | Bwc_core.Clique.Feasible clique ->
+          if k > expected then Alcotest.failf "claimed clique of %d > max %d" k expected;
+          Alcotest.(check int) "clique size" k (List.length clique);
+          List.iter
+            (fun u ->
+              List.iter
+                (fun v -> if u <> v && not (adj u v) then Alcotest.fail "not a clique")
+                clique)
+            clique
+      | Bwc_core.Clique.Infeasible ->
+          if k <= expected then Alcotest.failf "missed clique of %d (max %d)" k expected
+      | Bwc_core.Clique.Unknown -> Alcotest.fail "budget too small for tiny graph"
+    done
+  done
+
+let test_clique_budget_exhaustion () =
+  (* a complete graph with a tiny budget must report Unknown, not hang *)
+  let adj i j = i <> j in
+  (match Bwc_core.Clique.exists_clique ~budget:3 ~adj ~n:40 ~k:40 () with
+  | Bwc_core.Clique.Unknown -> ()
+  | Bwc_core.Clique.Feasible _ | Bwc_core.Clique.Infeasible ->
+      Alcotest.fail "expected budget exhaustion");
+  (* k beyond the vertex count is decided instantly *)
+  match Bwc_core.Clique.exists_clique ~budget:3 ~adj ~n:40 ~k:41 () with
+  | Bwc_core.Clique.Infeasible -> ()
+  | Bwc_core.Clique.Feasible _ | Bwc_core.Clique.Unknown ->
+      Alcotest.fail "k > n must be infeasible"
+
+let test_clique_threshold_matches_space () =
+  let space = tree_space ~seed:41 10 in
+  let values = Bwc_metric.Dmatrix.off_diagonal_values (Space.to_dmatrix space) in
+  let l = Bwc_stats.Summary.percentile values 50.0 in
+  (* exact oracle feasibility must match the brute-force subset search *)
+  for k = 2 to 6 do
+    let oracle =
+      match Bwc_core.Clique.exists_cluster space ~k ~l with
+      | Bwc_core.Clique.Feasible _ -> true
+      | Bwc_core.Clique.Infeasible -> false
+      | Bwc_core.Clique.Unknown -> Alcotest.fail "budget"
+    in
+    Alcotest.(check bool) "oracle = brute" (brute_exists space k l) oracle
+  done
+
+(* ----- Dynamic membership ----- *)
+
+let test_dynamic_join_leave () =
+  let ds = small_dataset ~seed:42 30 in
+  let dyn =
+    Bwc_core.Dynamic.create ~seed:43 ~initial_members:(List.init 20 Fun.id) ds
+  in
+  Alcotest.(check int) "initial" 20 (Bwc_core.Dynamic.member_count dyn);
+  Bwc_core.Dynamic.join dyn 25;
+  Alcotest.(check bool) "joined" true (Bwc_core.Dynamic.is_member dyn 25);
+  Alcotest.(check int) "count up" 21 (Bwc_core.Dynamic.member_count dyn);
+  Bwc_core.Dynamic.leave dyn 5;
+  Alcotest.(check bool) "left" false (Bwc_core.Dynamic.is_member dyn 5);
+  (* queries keep working and never include non-members *)
+  let r = Bwc_core.Dynamic.query dyn ~k:4 ~b:25.0 in
+  (match r.Query.cluster with
+  | Some cluster ->
+      List.iter
+        (fun h ->
+          if not (Bwc_core.Dynamic.is_member dyn h) then
+            Alcotest.failf "non-member %d in cluster" h)
+        cluster
+  | None -> Alcotest.fail "easy query after churn must succeed");
+  (* the protocol refuses queries at departed hosts *)
+  Alcotest.(check bool) "departed host rejected" true
+    (try
+       ignore (Bwc_core.Dynamic.query ~at:5 dyn ~k:4 ~b:25.0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_dynamic_theorem_3_3_after_churn () =
+  (* aggregated CRT entries stay exact on the surviving overlay *)
+  let ds = small_dataset ~seed:44 24 in
+  let dyn = Bwc_core.Dynamic.create ~seed:45 ds in
+  Bwc_core.Dynamic.apply dyn
+    [ Bwc_sim.Churn.Leave 3; Bwc_sim.Churn.Leave 11; Bwc_sim.Churn.Leave 17 ];
+  let protocol = Bwc_core.Dynamic.protocol dyn in
+  let ens = Bwc_core.Dynamic.ensemble dyn in
+  let anchor_tree = Bwc_predtree.Framework.anchor (Ensemble.primary ens) in
+  let classes = Bwc_core.Dynamic.classes dyn in
+  List.iter
+    (fun x ->
+      List.iter
+        (fun m ->
+          let got = Protocol.crt_row protocol x m in
+          let u = reachable_via anchor_tree ~x ~m in
+          for cls = 0 to Classes.count classes - 1 do
+            let expected =
+              List.fold_left
+                (fun acc w -> Stdlib.max acc (Protocol.crt_row protocol w w).(cls))
+                0 u
+            in
+            if got.(cls) <> expected then
+              Alcotest.failf "stale CRT after churn at %d->%d" x m
+          done)
+        (Ensemble.anchor_neighbors ens x))
+    (Bwc_core.Dynamic.members dyn)
+
+let test_dynamic_random_churn_invariants () =
+  let ds = small_dataset ~seed:46 25 in
+  let dyn = Bwc_core.Dynamic.create ~seed:47 ds in
+  let churn =
+    Bwc_sim.Churn.random ~rng:(Rng.create 48) ~n:25 ~rounds:5 ~leave_prob:0.15
+      ~rejoin_prob:0.4
+  in
+  Bwc_core.Dynamic.run_scenario dyn ~churn ~rounds:5 ~on_round:(fun _ dyn ->
+      let members = Bwc_core.Dynamic.members dyn in
+      Alcotest.(check bool) "nonempty" true (members <> []);
+      (* the primary prediction tree stays structurally sound *)
+      let tree =
+        Bwc_predtree.Framework.tree (Ensemble.primary (Bwc_core.Dynamic.ensemble dyn))
+      in
+      Alcotest.(check bool) "tree invariant" true (Bwc_predtree.Tree.is_tree tree);
+      (* label arity stays aligned across members *)
+      let ens = Bwc_core.Dynamic.ensemble dyn in
+      List.iter
+        (fun h ->
+          Alcotest.(check int) "label arity" (Ensemble.size ens)
+            (Array.length (Ensemble.labels ens h)))
+        members)
+
+let test_framework_add_remove_roundtrip () =
+  let space = tree_space ~seed:49 16 in
+  let fw =
+    Bwc_predtree.Framework.build ~rng:(Rng.create 50)
+      ~members:(List.init 12 Fun.id) space
+  in
+  Alcotest.(check int) "partial build" 12 (Bwc_predtree.Framework.size fw);
+  Bwc_predtree.Framework.add_host ~rng:(Rng.create 51) fw 14;
+  Alcotest.(check bool) "added" true (Bwc_predtree.Framework.is_member fw 14);
+  (* distances involving the new host are defined and consistent *)
+  let tree = Bwc_predtree.Framework.tree fw in
+  List.iter
+    (fun h ->
+      if h <> 14 then begin
+        let via_label = Bwc_predtree.Framework.predicted fw 14 h in
+        let via_tree = Bwc_predtree.Tree.host_dist tree 14 h in
+        if not (feq ~eps:1e-6 via_label via_tree) then Alcotest.fail "label mismatch"
+      end)
+    (Bwc_predtree.Framework.members fw);
+  Bwc_predtree.Framework.remove_host ~rng:(Rng.create 52) fw 14;
+  Alcotest.(check bool) "removed" false (Bwc_predtree.Framework.is_member fw 14);
+  Alcotest.(check int) "count restored" 12 (Bwc_predtree.Framework.size fw)
+
+(* ----- Node search ----- *)
+
+let test_node_search_brute_force () =
+  let space = tree_space ~seed:21 15 in
+  let targets = [ 2; 7; 11 ] in
+  match Bwc_core.Node_search.best space ~targets ~exclude:[] with
+  | None -> Alcotest.fail "candidates exist"
+  | Some (best, radius) ->
+      Alcotest.(check bool) "not a target" false (List.mem best targets);
+      let radius_of x =
+        List.fold_left (fun acc s -> Float.max acc (space.Space.dist x s)) 0.0 targets
+      in
+      Alcotest.(check bool) "radius consistent" true (feq radius (radius_of best));
+      for x = 0 to 14 do
+        if not (List.mem x targets) && radius_of x +. 1e-9 < radius then
+          Alcotest.failf "host %d is better" x
+      done
+
+let test_node_search_empty_targets () =
+  let space = tree_space ~seed:22 8 in
+  Alcotest.(check bool) "none" true
+    (Bwc_core.Node_search.best space ~targets:[] ~exclude:[] = None)
+
+(* ----- System facade ----- *)
+
+let test_system_end_to_end () =
+  let ds = small_dataset ~seed:23 50 in
+  let sys = System.create ~seed:24 ds in
+  Alcotest.(check int) "size" 50 (System.size sys);
+  let r = System.query sys ~at:3 ~k:5 ~b:30.0 in
+  (match r.Query.cluster with
+  | Some cluster ->
+      Alcotest.(check int) "k" 5 (List.length cluster);
+      (* verify_cluster agrees with a manual recount *)
+      let manual = ref 0 in
+      List.iteri
+        (fun i x ->
+          List.iteri
+            (fun j y -> if j > i && System.real_bw sys x y < 30.0 then incr manual)
+            cluster)
+        cluster;
+      Alcotest.(check int) "verify_cluster" !manual
+        (List.length (System.verify_cluster sys ~b:30.0 cluster))
+  | None -> Alcotest.fail "easy query must succeed");
+  (* predicted_bw is symmetric with infinite diagonal *)
+  Alcotest.(check bool) "pred symmetric" true
+    (feq (System.predicted_bw sys 1 2) (System.predicted_bw sys 2 1));
+  Alcotest.(check bool) "pred diagonal" true (System.predicted_bw sys 4 4 = Float.infinity)
+
+let test_system_deterministic () =
+  let ds = small_dataset ~seed:25 30 in
+  let a = System.create ~seed:26 ds in
+  let b = System.create ~seed:26 ds in
+  for i = 0 to 29 do
+    for j = i + 1 to 29 do
+      if not (feq (System.predicted_bw a i j) (System.predicted_bw b i j)) then
+        Alcotest.fail "same seed, same predictions"
+    done
+  done
+
+let test_system_refresh () =
+  let ds = small_dataset ~seed:27 25 in
+  let sys = System.create ~seed:28 ds in
+  let sys' = System.refresh ~drift:0.2 ~seed:29 sys in
+  Alcotest.(check int) "size preserved" (System.size sys) (System.size sys');
+  let r = System.query sys' ~k:4 ~b:25.0 in
+  Alcotest.(check bool) "refreshed system answers" true (Query.found r)
+
+let test_protocol_refresh_topology () =
+  let _, _, protocol = build_protocol ~seed:30 18 in
+  Protocol.refresh_topology protocol;
+  let rounds = Protocol.run_aggregation protocol in
+  Alcotest.(check bool) "reconverges" true (rounds > 0);
+  (* quiescent again afterwards *)
+  Alcotest.(check bool) "stable" false (Protocol.run_round protocol)
+
+(* ----- end-to-end exactness on perfect tree metrics ----- *)
+
+let test_exact_pipeline_zero_wpr () =
+  (* access-link dataset = perfect tree metric; exact-mode single-tree
+     framework embeds it losslessly; therefore every returned cluster
+     must satisfy the real constraint (WPR = 0) and the centralized
+     search must agree with brute force feasibility. *)
+  let ds = Bwc_dataset.Access_link.generate ~rng:(Rng.create 60) ~n:40 () in
+  let sys =
+    System.create ~seed:61 ~mode:Bwc_predtree.Framework.centralized_mode
+      ~ensemble_size:1 ds
+  in
+  let rng = Rng.create 62 in
+  let lo, hi = Bwc_dataset.Dataset.percentile_range ds ~lo:20.0 ~hi:80.0 in
+  for _ = 1 to 60 do
+    let b = Rng.uniform rng lo hi in
+    let k = 2 + Rng.int rng 8 in
+    (match System.query_centralized sys ~k ~b with
+    | Some cluster ->
+        Alcotest.(check int) "no real violations" 0
+          (List.length (System.verify_cluster sys ~b cluster))
+    | None -> ());
+    match (System.query sys ~k ~b).Query.cluster with
+    | Some cluster ->
+        Alcotest.(check int) "decentral: no real violations" 0
+          (List.length (System.verify_cluster sys ~b cluster))
+    | None -> ()
+  done
+
+let test_minimal_system () =
+  (* the smallest meaningful system: two hosts *)
+  let bwm = Bwc_metric.Dmatrix.create 2 ~diag:Float.infinity ~off:50.0 in
+  let ds = Bwc_dataset.Dataset.make ~name:"pair" bwm in
+  let sys = System.create ~seed:63 ~class_count:2 ds in
+  let r = System.query sys ~at:0 ~k:2 ~b:30.0 in
+  (match r.Query.cluster with
+  | Some [ _; _ ] -> ()
+  | Some _ | None -> Alcotest.fail "the pair itself is the cluster");
+  Alcotest.(check bool) "infeasible beyond classes" true
+    (not (Query.found (System.query sys ~at:1 ~k:2 ~b:500.0)))
+
+let test_protocol_single_class () =
+  let ds = small_dataset ~seed:64 15 in
+  let sys = System.create ~seed:65 ~class_count:1 ds in
+  Alcotest.(check int) "one class" 1 (Classes.count (System.classes sys));
+  let r = System.query sys ~k:3 ~b:1.0 in
+  Alcotest.(check bool) "low constraint maps to the single class" true (Query.found r)
+
+let test_query_path_starts_at_submission () =
+  let _, _, protocol = build_protocol ~seed:66 20 in
+  let r = Protocol.query protocol ~at:7 ~k:2 ~cls:0 in
+  match r.Query.path with
+  | first :: _ -> Alcotest.(check int) "starts at submission" 7 first
+  | [] -> Alcotest.fail "path cannot be empty"
+
+(* ----- qcheck ----- *)
+
+let qcheck_protocol_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"routing invariants hold under random link delays" ~count:8
+      (pair (int_range 10 20) (int_range 0 1000))
+      (fun (n, seed) ->
+        let ds = small_dataset ~seed:(seed + 5000) n in
+        let space = Bwc_dataset.Dataset.metric ds in
+        let ens = Ensemble.build ~rng:(Rng.create seed) space in
+        let classes = Classes.of_percentiles ~count:4 ds in
+        let delay_rng = Rng.create (seed + 1) in
+        let delays = Hashtbl.create 32 in
+        let edge_delay ~src ~dst =
+          match Hashtbl.find_opt delays (src, dst) with
+          | Some d -> d
+          | None ->
+              let d = 1 + Rng.int delay_rng 3 in
+              Hashtbl.add delays (src, dst) d;
+              d
+        in
+        let protocol =
+          Protocol.create ~rng:(Rng.create (seed + 2)) ~n_cut:4 ~edge_delay ~classes ens
+        in
+        let (_ : int) = Protocol.run_aggregation ~max_rounds:600 protocol in
+        (* every promised cluster is found, nothing beyond is *)
+        let ok = ref true in
+        for x = 0 to n - 1 do
+          for cls = 0 to Classes.count classes - 1 do
+            let promised = Protocol.max_reachable protocol x ~cls in
+            if promised >= 2 then begin
+              let r = Protocol.query protocol ~at:x ~k:promised ~cls in
+              if not (Bwc_core.Query.found r) then ok := false
+            end;
+            if
+              Bwc_core.Query.found
+                (Protocol.query protocol ~at:x ~k:(promised + 1) ~cls)
+            then ok := false
+          done
+        done;
+        !ok);
+  ]
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"Theorem 3.1 on random tree metrics" ~count:20
+      (pair (int_range 5 14) (int_range 0 10_000))
+      (fun (n, seed) ->
+        let space = tree_space ~seed n in
+        let ok = ref true in
+        for p = 0 to n - 1 do
+          for q = p + 1 to n - 1 do
+            let s = Find_cluster.members space ~p ~q in
+            if not (feq ~eps:1e-6 (Space.diameter space s) (space.Space.dist p q)) then
+              ok := false
+          done
+        done;
+        !ok);
+    Test.make ~name:"Algorithm 1 feasibility = brute force (tree metrics)" ~count:20
+      (pair (int_range 5 9) (int_range 0 10_000))
+      (fun (n, seed) ->
+        let space = tree_space ~seed n in
+        let values =
+          Bwc_metric.Dmatrix.off_diagonal_values (Space.to_dmatrix space)
+        in
+        let l = Bwc_stats.Summary.percentile values 60.0 in
+        let ok = ref true in
+        for k = 2 to n - 1 do
+          if (Find_cluster.find space ~k ~l <> None) <> brute_exists space k l then
+            ok := false
+        done;
+        !ok);
+    Test.make ~name:"found clusters always satisfy the constraint" ~count:30
+      (pair (int_range 6 16) (int_range 0 10_000))
+      (fun (n, seed) ->
+        let space = tree_space ~seed n in
+        let values =
+          Bwc_metric.Dmatrix.off_diagonal_values (Space.to_dmatrix space)
+        in
+        let l = Bwc_stats.Summary.percentile values 70.0 in
+        match Find_cluster.find space ~k:4 ~l with
+        | None -> true
+        | Some cluster -> Space.diameter space cluster <= l *. (1.0 +. 1e-6));
+  ]
+
+let () =
+  Alcotest.run "bwc_core"
+    [
+      ( "algorithm1",
+        [
+          Alcotest.test_case "members definition" `Quick test_members_definition;
+          Alcotest.test_case "Theorem 3.1 diameter" `Quick test_theorem_3_1_diameter;
+          Alcotest.test_case "valid cluster" `Quick test_find_returns_valid_cluster;
+          Alcotest.test_case "feasibility vs brute force" `Quick test_find_vs_brute_force;
+          Alcotest.test_case "max size vs brute force" `Quick test_max_size_vs_brute_force;
+          Alcotest.test_case "infeasible cases" `Quick test_find_infeasible;
+          Alcotest.test_case "index consistency" `Quick test_index_consistency;
+          Alcotest.test_case "index max_sizes" `Quick test_index_max_sizes_vector;
+        ] );
+      ( "classes",
+        [
+          Alcotest.test_case "mapping" `Quick test_classes_mapping;
+          Alcotest.test_case "guarantee" `Quick test_classes_guarantee;
+          Alcotest.test_case "of_percentiles" `Quick test_classes_of_percentiles;
+        ] );
+      ( "aggregation",
+        [
+          Alcotest.test_case "Theorem 3.2 (aggrNode)" `Quick test_theorem_3_2_aggr_node;
+          Alcotest.test_case "Theorem 3.2 weak form (ensemble)" `Quick
+            test_theorem_3_2_weak_for_ensembles;
+          Alcotest.test_case "Theorem 3.3 (aggrCRT)" `Quick test_theorem_3_3_aggr_crt;
+          Alcotest.test_case "payload bounded by n_cut" `Quick
+            test_payload_bounded_by_ncut;
+          Alcotest.test_case "quiescence" `Quick test_aggregation_quiescence;
+          Alcotest.test_case "convergence bounded by depth" `Quick
+            test_convergence_rounds_bounded;
+          Alcotest.test_case "same fixpoint under link delays" `Quick
+            test_delays_reach_same_fixpoint;
+          Alcotest.test_case "global max agreed everywhere" `Quick
+            test_global_max_agrees_everywhere;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "finds promised clusters" `Quick
+            test_query_finds_promised_clusters;
+          Alcotest.test_case "misses beyond promise" `Quick test_query_miss_beyond_promise;
+          Alcotest.test_case "clusters satisfy predicted constraint" `Quick
+            test_query_cluster_satisfies_predicted_constraint;
+          Alcotest.test_case "hops bounded, path simple" `Quick test_query_hops_bounded;
+          Alcotest.test_case "decentral RR <= central RR" `Quick
+            test_decentral_rr_bounded_by_central;
+          Alcotest.test_case "query constructors" `Quick test_query_constructors;
+        ] );
+      ( "clique",
+        [
+          Alcotest.test_case "vs brute force" `Quick test_clique_vs_brute;
+          Alcotest.test_case "budget exhaustion" `Quick test_clique_budget_exhaustion;
+          Alcotest.test_case "threshold graph" `Quick test_clique_threshold_matches_space;
+        ] );
+      ( "dynamic",
+        [
+          Alcotest.test_case "join and leave" `Quick test_dynamic_join_leave;
+          Alcotest.test_case "Theorem 3.3 after churn" `Quick
+            test_dynamic_theorem_3_3_after_churn;
+          Alcotest.test_case "random churn invariants" `Quick
+            test_dynamic_random_churn_invariants;
+          Alcotest.test_case "framework add/remove" `Quick
+            test_framework_add_remove_roundtrip;
+        ] );
+      ( "node_search",
+        [
+          Alcotest.test_case "brute force optimality" `Quick test_node_search_brute_force;
+          Alcotest.test_case "empty targets" `Quick test_node_search_empty_targets;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "end to end" `Quick test_system_end_to_end;
+          Alcotest.test_case "exact pipeline: zero WPR on tree metric" `Quick
+            test_exact_pipeline_zero_wpr;
+          Alcotest.test_case "two-host system" `Quick test_minimal_system;
+          Alcotest.test_case "single class" `Quick test_protocol_single_class;
+          Alcotest.test_case "path starts at submission" `Quick
+            test_query_path_starts_at_submission;
+          Alcotest.test_case "deterministic" `Quick test_system_deterministic;
+          Alcotest.test_case "refresh" `Quick test_system_refresh;
+          Alcotest.test_case "protocol refresh_topology" `Quick
+            test_protocol_refresh_topology;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest (qcheck_tests @ qcheck_protocol_tests) );
+    ]

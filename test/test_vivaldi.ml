@@ -1,0 +1,146 @@
+(* Tests for bwc_vivaldi: coordinate arithmetic and the convergence of the
+   embedding on metrics that 2-d Euclidean space can and cannot fit. *)
+
+module Rng = Bwc_stats.Rng
+module Coord = Bwc_vivaldi.Coord
+module Vivaldi = Bwc_vivaldi.Vivaldi
+module Space = Bwc_metric.Space
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps *. Float.max 1.0 (Float.abs a)
+
+(* ----- Coord ----- *)
+
+let test_coord_arith () =
+  let a = { Coord.x = 1.0; y = 2.0 } and b = { Coord.x = 4.0; y = 6.0 } in
+  Alcotest.(check (float 1e-9)) "dist" 5.0 (Coord.dist a b);
+  let s = Coord.add a (Coord.scale 2.0 b) in
+  Alcotest.(check (float 1e-9)) "add/scale x" 9.0 s.Coord.x;
+  Alcotest.(check (float 1e-9)) "add/scale y" 14.0 s.Coord.y;
+  Alcotest.(check (float 1e-9)) "norm" 5.0 (Coord.norm (Coord.sub b a))
+
+let test_coord_unit_towards () =
+  let rng = Rng.create 1 in
+  let from = { Coord.x = 0.0; y = 0.0 } and towards = { Coord.x = 3.0; y = 4.0 } in
+  let u = Coord.unit_towards ~from ~towards ~rng in
+  Alcotest.(check (float 1e-9)) "unit norm" 1.0 (Coord.norm u);
+  Alcotest.(check (float 1e-9)) "direction x" 0.6 u.Coord.x;
+  (* coincident points give a random but unit-length direction *)
+  let r = Coord.unit_towards ~from ~towards:from ~rng in
+  Alcotest.(check (float 1e-6)) "random unit" 1.0 (Coord.norm r)
+
+(* ----- Vivaldi ----- *)
+
+(* A metric that 2-d Euclidean space represents exactly: points on a grid. *)
+let grid_space n =
+  let side = int_of_float (Float.ceil (sqrt (float_of_int n))) in
+  let coord i = (float_of_int (i mod side), float_of_int (i / side)) in
+  Space.make ~n ~dist:(fun i j ->
+      let xi, yi = coord i and xj, yj = coord j in
+      sqrt (((xi -. xj) ** 2.0) +. ((yi -. yj) ** 2.0)))
+
+let test_vivaldi_fits_euclidean_input () =
+  let space = grid_space 25 in
+  let t =
+    Vivaldi.embed ~rng:(Rng.create 2)
+      ~params:{ Vivaldi.default_params with rounds = 400 }
+      space
+  in
+  let err = Vivaldi.mean_fit_error t space in
+  if err > 0.08 then Alcotest.failf "grid should embed well, got mean error %.3f" err
+
+let test_vivaldi_error_decreases_with_rounds () =
+  let space = grid_space 16 in
+  let err rounds =
+    let t =
+      Vivaldi.embed ~rng:(Rng.create 3) ~params:{ Vivaldi.default_params with rounds } space
+    in
+    Vivaldi.mean_fit_error t space
+  in
+  Alcotest.(check bool) "more rounds help" true (err 200 < err 3)
+
+let test_vivaldi_star_metric_has_residual_error () =
+  (* a deep star (tree) metric does not fit the plane: Vivaldi must retain
+     substantially more error than on the grid *)
+  let weights = Array.init 20 (fun i -> 1.0 +. float_of_int (i mod 7)) in
+  let star =
+    Space.make ~n:20 ~dist:(fun i j -> if i = j then 0.0 else weights.(i) +. weights.(j))
+  in
+  let t =
+    Vivaldi.embed ~rng:(Rng.create 4)
+      ~params:{ Vivaldi.default_params with rounds = 300 }
+      star
+  in
+  Alcotest.(check bool)
+    "tree metrics resist planar embedding" true
+    (Vivaldi.mean_fit_error t star > 0.05)
+
+let test_vivaldi_deterministic () =
+  let space = grid_space 9 in
+  let a = Vivaldi.embed ~rng:(Rng.create 5) space in
+  let b = Vivaldi.embed ~rng:(Rng.create 5) space in
+  let ca = Vivaldi.coords a and cb = Vivaldi.coords b in
+  Array.iteri
+    (fun i p ->
+      if not (feq p.Coord.x cb.(i).Coord.x && feq p.Coord.y cb.(i).Coord.y) then
+        Alcotest.fail "same seed must give same embedding")
+    ca
+
+let test_vivaldi_predicted_properties () =
+  let space = grid_space 12 in
+  let t = Vivaldi.embed ~rng:(Rng.create 6) space in
+  Alcotest.(check (float 1e-9)) "diagonal" 0.0 (Vivaldi.predicted t 3 3);
+  Alcotest.(check bool) "symmetry" true
+    (feq (Vivaldi.predicted t 1 7) (Vivaldi.predicted t 7 1));
+  Alcotest.(check bool) "self bandwidth infinite" true
+    (Vivaldi.predicted_bw t 2 2 = Float.infinity)
+
+let test_vivaldi_relative_errors_shape () =
+  let space = grid_space 10 in
+  let t = Vivaldi.embed ~rng:(Rng.create 7) space in
+  let errs = Vivaldi.relative_errors t space in
+  Alcotest.(check int) "pair count" (10 * 9 / 2) (Array.length errs);
+  Array.iter (fun e -> if e < 0.0 then Alcotest.fail "negative error") errs
+
+let test_vivaldi_coords_finite () =
+  (* embedding a noisy (triangle-violating) input must not blow up *)
+  let rng = Rng.create 8 in
+  let ds =
+    Bwc_dataset.Noise.multiplicative ~rng ~sigma:0.5
+      (Bwc_dataset.Hier_tree.generate ~rng ~n:30 ~name:"noisy" ())
+  in
+  let t = Vivaldi.embed ~rng:(Rng.create 9) (Bwc_dataset.Dataset.metric ds) in
+  Array.iter
+    (fun c ->
+      if not (Float.is_finite c.Coord.x && Float.is_finite c.Coord.y) then
+        Alcotest.fail "non-finite coordinate")
+    (Vivaldi.coords t)
+
+let test_vivaldi_single_node () =
+  let space = Space.make ~n:1 ~dist:(fun _ _ -> 0.0) in
+  let t = Vivaldi.embed ~rng:(Rng.create 10) space in
+  Alcotest.(check int) "one coordinate" 1 (Array.length (Vivaldi.coords t))
+
+let () =
+  Alcotest.run "bwc_vivaldi"
+    [
+      ( "coord",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_coord_arith;
+          Alcotest.test_case "unit towards" `Quick test_coord_unit_towards;
+        ] );
+      ( "vivaldi",
+        [
+          Alcotest.test_case "fits Euclidean input" `Quick test_vivaldi_fits_euclidean_input;
+          Alcotest.test_case "error decreases with rounds" `Quick
+            test_vivaldi_error_decreases_with_rounds;
+          Alcotest.test_case "tree metric keeps residual error" `Quick
+            test_vivaldi_star_metric_has_residual_error;
+          Alcotest.test_case "deterministic" `Quick test_vivaldi_deterministic;
+          Alcotest.test_case "predicted properties" `Quick
+            test_vivaldi_predicted_properties;
+          Alcotest.test_case "relative errors shape" `Quick
+            test_vivaldi_relative_errors_shape;
+          Alcotest.test_case "finite on noisy input" `Quick test_vivaldi_coords_finite;
+          Alcotest.test_case "single node" `Quick test_vivaldi_single_node;
+        ] );
+    ]
