@@ -112,7 +112,19 @@ let ablations () =
       (if full then [ 50; 100; 150; 200; 250; 300 ] else [ 40; 80; 120; 150 ])
   in
   let out = Bwc_experiments.Overhead.run ~sizes ~repeats:2 ~seed:8 base in
-  Bwc_experiments.Overhead.print out
+  Bwc_experiments.Overhead.print out;
+  section "Robustness under injected faults  [E12]";
+  let small =
+    let want = if full then Dataset.size ds else 60 in
+    if want < Dataset.size ds then Dataset.random_subset ds ~rng:(Rng.create 62) want
+    else ds
+  in
+  let out =
+    Bwc_experiments.Robustness.run
+      ~queries:(if full then 200 else 60)
+      ~seed:10 small
+  in
+  Bwc_experiments.Robustness.print out
 
 (* ----- Bechamel micro-benchmarks ----- *)
 

@@ -200,6 +200,45 @@ let routing_cmd =
   Cmd.v (Cmd.info "routing" ~doc)
     Term.(const routing $ seed_arg $ full_arg $ dataset_arg $ csv_arg)
 
+(* ----- robustness under faults (E12) ----- *)
+
+let robustness seed full dataset hosts csv =
+  (match hosts with
+  | Some h when h < 2 ->
+      Format.eprintf "bwcluster: --hosts must be at least 2@.";
+      exit Cmdliner.Cmd.Exit.cli_error
+  | _ -> ());
+  let ds = load_dataset ~seed dataset in
+  let ds =
+    match hosts with
+    | Some h when h < Bwc_dataset.Dataset.size ds ->
+        Bwc_dataset.Dataset.random_subset ds ~rng:(Bwc_stats.Rng.create seed) h
+    | _ -> ds
+  in
+  let drops, crash_rates, queries =
+    if full then ([ 0.0; 0.05; 0.1; 0.2; 0.3 ], [ 0.0; 0.1; 0.2 ], 200)
+    else ([ 0.0; 0.1; 0.2 ], [ 0.0; 0.15 ], 60)
+  in
+  let out = Bwc_experiments.Robustness.run ~drops ~crash_rates ~queries ~seed ds in
+  Bwc_experiments.Robustness.print out;
+  maybe_csv csv Bwc_experiments.Robustness.save_csv out
+
+let robustness_cmd =
+  let doc =
+    "Robustness: aggregation fixed point and query recall under message loss, \
+     duplication, jitter and crash/restart windows."
+  in
+  let hosts =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "hosts" ] ~docv:"N"
+          ~doc:"Restrict the dataset to a random N-host subset (smoke runs).")
+  in
+  Cmd.v
+    (Cmd.info "robustness" ~doc)
+    Term.(const robustness $ seed_arg $ full_arg $ dataset_arg $ hosts $ csv_arg)
+
 (* ----- dynamic membership demo ----- *)
 
 let dynamic seed dataset epochs =
@@ -356,6 +395,7 @@ let main_cmd =
       oracle_cmd;
       overhead_cmd;
       routing_cmd;
+      robustness_cmd;
       dynamic_cmd;
       gen_cmd;
       export_tree_cmd;

@@ -1,14 +1,30 @@
 module Ensemble = Bwc_predtree.Ensemble
 module Engine = Bwc_sim.Engine
+module Fault = Bwc_sim.Fault
 
-type message = {
+type payload = {
   prop_node : Node_info.t list;
   prop_crt : int array;
 }
 
-let message_equal a b =
+let payload_equal a b =
   a.prop_crt = b.prop_crt
   && List.compare Node_info.compare_host a.prop_node b.prop_node = 0
+
+(* Updates carry a per-link sequence number so that receivers can discard
+   duplicates and out-of-order copies (fault jitter breaks link FIFO-ness);
+   acks echo the highest sequence seen so senders can retire their
+   retransmission state. *)
+type message =
+  | Update of { seq : int; payload : payload }
+  | Ack of { seq : int }
+
+type out_entry = {
+  mutable seq : int;
+  mutable payload : payload;
+  mutable sent_round : int;
+  mutable acked : bool;
+}
 
 type node = {
   id : int;
@@ -17,7 +33,8 @@ type node = {
   aggr_node : (int, Node_info.t list) Hashtbl.t;    (* neighbor -> received propNode *)
   aggr_crt : (int, int array) Hashtbl.t;            (* neighbor -> received propCRT *)
   mutable own_row : int array;                      (* aggrCRT[self] *)
-  last_sent : (int, message) Hashtbl.t;
+  out : (int, out_entry) Hashtbl.t;                 (* neighbor -> last update sent *)
+  seen_seq : (int, int) Hashtbl.t;                  (* neighbor -> highest seq received *)
   mutable dirty : bool;
 }
 
@@ -25,9 +42,14 @@ type t = {
   fw : Ensemble.t;
   classes : Classes.t;
   n_cut : int;
+  resend_timeout : int;
   mutable nodes : node option array; (* indexed by host id; None = not a member *)
   engine : message Engine.t;
   mutable rounds : int;
+  mutable unacked : int;             (* out entries awaiting an ack, system-wide *)
+  mutable retries : int;
+  mutable dup_suppressed : int;
+  mutable stale_discarded : int;
 }
 
 let node_of_host fw host = Node_info.make ~host ~labels:(Ensemble.labels fw host)
@@ -43,7 +65,8 @@ let fresh_node fw classes host =
     aggr_node = Hashtbl.create 8;
     aggr_crt = Hashtbl.create 8;
     own_row = Array.make (Classes.count classes) 1;
-    last_sent = Hashtbl.create 8;
+    out = Hashtbl.create 8;
+    seen_seq = Hashtbl.create 8;
     dirty = true;
   }
 
@@ -56,17 +79,23 @@ let sync_engine_active t =
     (fun h slot -> Engine.set_active t.engine h (slot <> None))
     t.nodes
 
-let create ~rng ?(n_cut = 10) ?edge_delay ~classes fw =
+let create ~rng ?(n_cut = 10) ?edge_delay ?faults ?(resend_timeout = 3) ~classes fw =
   if n_cut < 1 then invalid_arg "Protocol.create: n_cut < 1";
+  if resend_timeout < 1 then invalid_arg "Protocol.create: resend_timeout < 1";
   let n = Ensemble.hosts fw in
   let t =
     {
       fw;
       classes;
       n_cut;
+      resend_timeout;
       nodes = node_slots fw classes;
-      engine = Engine.create ?edge_delay ~rng n;
+      engine = Engine.create ?edge_delay ?faults ~rng n;
       rounds = 0;
+      unacked = 0;
+      retries = 0;
+      dup_suppressed = 0;
+      stale_discarded = 0;
     }
   in
   sync_engine_active t;
@@ -157,26 +186,100 @@ let prop_crt_for node ~recipient =
   out
 
 let send_updates t node =
+  let now = Engine.round t.engine in
   List.iter
     (fun nb ->
-      let msg =
+      let payload =
         {
           prop_node = prop_node_for t node ~recipient:nb;
           prop_crt = prop_crt_for node ~recipient:nb;
         }
       in
-      let unchanged =
-        match Hashtbl.find_opt node.last_sent nb.Node_info.host with
-        | Some prev -> message_equal prev msg
-        | None -> false
-      in
-      if not unchanged then begin
-        Hashtbl.replace node.last_sent nb.Node_info.host msg;
-        Engine.send t.engine ~src:node.id ~dst:nb.Node_info.host msg
-      end)
+      let h = nb.Node_info.host in
+      match Hashtbl.find_opt node.out h with
+      | Some entry when payload_equal entry.payload payload ->
+          (* nothing new; if unacked the resend timer covers the loss *)
+          ()
+      | Some entry ->
+          entry.seq <- entry.seq + 1;
+          entry.payload <- payload;
+          entry.sent_round <- now;
+          if entry.acked then begin
+            entry.acked <- false;
+            t.unacked <- t.unacked + 1
+          end;
+          Engine.send t.engine ~src:node.id ~dst:h (Update { seq = entry.seq; payload })
+      | None ->
+          Hashtbl.replace node.out h
+            { seq = 0; payload; sent_round = now; acked = false };
+          t.unacked <- t.unacked + 1;
+          Engine.send t.engine ~src:node.id ~dst:h (Update { seq = 0; payload }))
     node.neighbors
 
+(* Timeout-based retransmission: an unacked update is re-sent verbatim
+   every [resend_timeout] rounds until the receiver acknowledges it, so
+   the aggregation survives message loss and crash windows. *)
+let resend_pending t node =
+  let now = Engine.round t.engine in
+  Hashtbl.iter
+    (fun h entry ->
+      if (not entry.acked) && now - entry.sent_round >= t.resend_timeout then begin
+        entry.sent_round <- now;
+        t.retries <- t.retries + 1;
+        Engine.send t.engine ~src:node.id ~dst:h (Update { seq = entry.seq; payload = entry.payload })
+      end)
+    node.out
+
 (* ----- round driver ----- *)
+
+let apply_update t node ~src ~seq payload =
+  let seen = Option.value ~default:(-1) (Hashtbl.find_opt node.seen_seq src) in
+  if seq < seen then begin
+    (* out-of-order copy superseded by something already applied *)
+    t.stale_discarded <- t.stale_discarded + 1;
+    Engine.send t.engine ~src:node.id ~dst:src (Ack { seq = seen });
+    false
+  end
+  else if seq = seen then begin
+    (* duplicate: the aggregation merge is idempotent, so re-applying
+       must be a no-op — check that the stored state already equals the
+       payload, then just re-ack (the previous ack may have been lost) *)
+    t.dup_suppressed <- t.dup_suppressed + 1;
+    assert (
+      match Hashtbl.find_opt node.aggr_node src with
+      | Some prev -> List.compare Node_info.compare_host prev payload.prop_node = 0
+      | None -> false);
+    assert (
+      match Hashtbl.find_opt node.aggr_crt src with
+      | Some prev -> prev = payload.prop_crt
+      | None -> false);
+    Engine.send t.engine ~src:node.id ~dst:src (Ack { seq = seen });
+    false
+  end
+  else begin
+    Hashtbl.replace node.seen_seq src seq;
+    Engine.send t.engine ~src:node.id ~dst:src (Ack { seq });
+    let node_diff =
+      match Hashtbl.find_opt node.aggr_node src with
+      | Some prev -> List.compare Node_info.compare_host prev payload.prop_node <> 0
+      | None -> true
+    in
+    if node_diff then Hashtbl.replace node.aggr_node src payload.prop_node;
+    let crt_diff =
+      match Hashtbl.find_opt node.aggr_crt src with
+      | Some prev -> prev <> payload.prop_crt
+      | None -> true
+    in
+    if crt_diff then Hashtbl.replace node.aggr_crt src payload.prop_crt;
+    node_diff || crt_diff
+  end
+
+let apply_ack t node ~src ~seq =
+  match Hashtbl.find_opt node.out src with
+  | Some entry when (not entry.acked) && seq = entry.seq ->
+      entry.acked <- true;
+      t.unacked <- t.unacked - 1
+  | Some _ | None -> ()
 
 let step t id inbox =
   match t.nodes.(id) with
@@ -185,36 +288,25 @@ let step t id inbox =
   let changed = ref node.dirty in
   List.iter
     (fun (src, msg) ->
-      let node_diff =
-        match Hashtbl.find_opt node.aggr_node src with
-        | Some prev -> List.compare Node_info.compare_host prev msg.prop_node <> 0
-        | None -> true
-      in
-      if node_diff then begin
-        Hashtbl.replace node.aggr_node src msg.prop_node;
-        changed := true
-      end;
-      let crt_diff =
-        match Hashtbl.find_opt node.aggr_crt src with
-        | Some prev -> prev <> msg.prop_crt
-        | None -> true
-      in
-      if crt_diff then begin
-        Hashtbl.replace node.aggr_crt src msg.prop_crt;
-        changed := true
-      end)
+      match msg with
+      | Update { seq; payload } ->
+          if apply_update t node ~src ~seq payload then changed := true
+      | Ack { seq } -> apply_ack t node ~src ~seq)
     inbox;
   if !changed then begin
     recompute_own_row t node;
     send_updates t node;
     node.dirty <- false
   end;
+  resend_pending t node;
   !changed
 
 let run_round t =
   let active = Engine.run_round t.engine ~step:(step t) in
   t.rounds <- t.rounds + 1;
-  active
+  (* unacked updates keep the protocol live even across quiet rounds
+     between retransmission timeouts *)
+  active || t.unacked > 0
 
 let run_aggregation ?max_rounds t =
   let max_rounds =
@@ -238,48 +330,87 @@ let local_find t node ~k ~cls =
   | None -> None
   | Some idxs -> Some (List.map (fun i -> infos.(i).Node_info.host) idxs)
 
-let query ?(policy = `Best_crt) t ~at ~k ~cls =
+let query ?(policy = `Best_crt) ?hop_budget ?(retries = 2) t ~at ~k ~cls =
   if k < 2 then invalid_arg "Protocol.query: k < 2";
   if cls < 0 || cls >= Classes.count t.classes then invalid_arg "Protocol.query: bad class";
-  let rec go x ~from ~path =
+  if retries < 0 then invalid_arg "Protocol.query: negative retries";
+  let hop_budget =
+    (* a routing path on the anchor tree is simple, so n hops is already
+       unreachable — the default budget changes nothing on healthy runs *)
+    match hop_budget with
+    | Some h when h < 0 -> invalid_arg "Protocol.query: negative hop budget"
+    | Some h -> h
+    | None -> Array.length t.nodes
+  in
+  let faults = Engine.faults t.engine in
+  let round = Engine.round t.engine in
+  let retries_used = ref 0 in
+  let result cluster ~path =
+    { Query.cluster; hops = List.length path - 1; retries = !retries_used;
+      path = List.rev path }
+  in
+  (* A hop to a dead or partitioned neighbor fails outright; a lossy link
+     gets up to [retries] retransmissions before the router falls back to
+     the next qualifying neighbor. *)
+  let rec first_reachable x = function
+    | [] -> None
+    | h :: rest ->
+        if not (Engine.is_active t.engine h) then first_reachable x rest
+        else if Fault.partitioned faults ~round ~src:x ~dst:h then first_reachable x rest
+        else begin
+          let rec attempt tries_left =
+            if not (Fault.sample_loss faults) then true
+            else if tries_left = 0 then false
+            else begin
+              incr retries_used;
+              attempt (tries_left - 1)
+            end
+          in
+          if attempt retries then Some h else first_reachable x rest
+        end
+  in
+  let rec go x ~from ~path ~budget =
     let node = get_node t x in
-    if node.own_row.(cls) >= k then
-      { Query.cluster = local_find t node ~k ~cls; hops = List.length path - 1;
-        path = List.rev path }
+    if node.own_row.(cls) >= k then result (local_find t node ~k ~cls) ~path
+    else if budget = 0 then result None ~path
     else begin
       (* Forward to a neighbor claiming a big-enough cluster in its
          direction, never back to the sender.  The paper allows "any"
-         such neighbor; `Best_crt picks the direction promising the
-         largest cluster, `First the first in neighbor order. *)
-      let best = ref None in
-      (try
-         List.iter
-           (fun nb ->
-             let h = nb.Node_info.host in
-             if Some h <> from then
-               match Hashtbl.find_opt node.aggr_crt h with
-               | Some row when row.(cls) >= k -> (
-                   match policy with
-                   | `First ->
-                       best := Some (h, row.(cls));
-                       raise Exit
-                   | `Best_crt -> (
-                       match !best with
-                       | Some (_, best_size) when best_size >= row.(cls) -> ()
-                       | _ -> best := Some (h, row.(cls))))
-               | Some _ | None -> ())
-           node.neighbors
-       with Exit -> ());
-      match !best with
-      | Some (next, _) -> go next ~from:(Some x) ~path:(next :: path)
-      | None -> { Query.cluster = None; hops = List.length path - 1; path = List.rev path }
+         such neighbor; `Best_crt orders directions by promised cluster
+         size, `First keeps neighbor order.  Later candidates are
+         fallbacks for dead, partitioned or persistently lossy hops. *)
+      let qualifying =
+        List.filter_map
+          (fun nb ->
+            let h = nb.Node_info.host in
+            if Some h = from then None
+            else
+              match Hashtbl.find_opt node.aggr_crt h with
+              | Some row when row.(cls) >= k -> Some (h, row.(cls))
+              | Some _ | None -> None)
+          node.neighbors
+      in
+      let ordered =
+        match policy with
+        | `First -> qualifying
+        | `Best_crt ->
+            (* stable sort: equal promises keep neighbor order *)
+            List.stable_sort (fun (_, a) (_, b) -> compare b a) qualifying
+      in
+      match first_reachable x (List.map fst ordered) with
+      | Some next -> go next ~from:(Some x) ~path:(next :: path) ~budget:(budget - 1)
+      | None -> result None ~path
     end
   in
-  go at ~from:None ~path:[ at ]
+  (* a non-member is a caller error (raises); a member that is merely
+     crashed right now is a runtime condition (miss) *)
+  let (_ : node) = get_node t at in
+  if not (Engine.is_active t.engine at) then result None ~path:[ at ]
+  else go at ~from:None ~path:[ at ] ~budget:hop_budget
 
-let query_bandwidth ?policy t ~at ~k ~b =
+let query_bandwidth ?policy ?hop_budget ?retries t ~at ~k ~b =
   match Classes.class_for t.classes ~b with
-  | Some cls -> query ?policy t ~at ~k ~cls
+  | Some cls -> query ?policy ?hop_budget ?retries t ~at ~k ~cls
   | None -> Query.not_found_at at
 
 let aggregated_nodes t x m =
@@ -309,13 +440,21 @@ let max_reachable t x ~cls =
 
 let messages_sent t = Engine.messages_sent t.engine
 let rounds_run t = t.rounds
+let retries t = t.retries
+let duplicates_suppressed t = t.dup_suppressed
+let stale_discarded t = t.stale_discarded
+let pending_unacked t = t.unacked
 
 let mark_all_dirty t =
   Array.iter (function Some node -> node.dirty <- true | None -> ()) t.nodes
 
 (* Rebuilding the slots from scratch both refreshes labels/neighborhoods
    after a framework change and tracks membership changes (joins create a
-   slot, leaves clear one). *)
+   slot, leaves clear one).  In-flight traffic belongs to the old
+   topology and sequence numbering, so it is discarded wholesale — the
+   fresh slots repropagate everything anyway. *)
 let refresh_topology t =
   t.nodes <- node_slots t.fw t.classes;
+  t.unacked <- 0;
+  Engine.clear_in_flight t.engine;
   sync_engine_active t

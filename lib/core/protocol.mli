@@ -20,7 +20,18 @@
     The implementation runs on the round-based {!Bwc_sim.Engine}; each
     round every host consumes its inbox, updates its tables, and
     (re)propagates to neighbors when something changed, so a static
-    network reaches quiescence and [run_until_stable] detects it. *)
+    network reaches quiescence and [run_until_stable] detects it.
+
+    Delivery is made reliable against an unreliable network
+    ({!Bwc_sim.Fault}): every update carries a per-link sequence number,
+    receivers acknowledge the highest sequence seen and discard
+    duplicates and out-of-order copies (the merge is idempotent, which
+    is asserted), and senders retransmit unacknowledged updates on a
+    timeout.  The aggregation therefore converges to the same fixed
+    point under message loss, duplication, reordering jitter and
+    crash/restart windows as on a reliable network — it just takes more
+    rounds and messages (tested; measured by the robustness
+    experiment). *)
 
 type t
 
@@ -28,6 +39,8 @@ val create :
   rng:Bwc_stats.Rng.t ->
   ?n_cut:int ->
   ?edge_delay:(src:int -> dst:int -> int) ->
+  ?faults:Bwc_sim.Fault.t ->
+  ?resend_timeout:int ->
   classes:Classes.t ->
   Bwc_predtree.Ensemble.t ->
   t
@@ -35,7 +48,12 @@ val create :
     — the decentralization knob of Sec. IV-B.  [edge_delay] gives overlay
     links heterogeneous (FIFO) delivery delays in rounds; the aggregation
     converges to the same tables regardless (tested), it just takes
-    proportionally longer. *)
+    proportionally longer.  [faults] (default {!Bwc_sim.Fault.none})
+    injects message loss, duplication, jitter, partitions and
+    crash/restart windows.  [resend_timeout] (default 3) is how many
+    rounds an update stays unacknowledged before it is retransmitted.
+    With a fault plan that never heals (a permanent crash or partition),
+    [run_aggregation] keeps retrying until [max_rounds]. *)
 
 val n : t -> int
 (** Current member count. *)
@@ -52,15 +70,28 @@ val run_round : t -> bool
 (** A single round; [true] while still active. *)
 
 val query :
-  ?policy:[ `Best_crt | `First ] -> t -> at:int -> k:int -> cls:int -> Query.result
+  ?policy:[ `Best_crt | `First ] ->
+  ?hop_budget:int ->
+  ?retries:int ->
+  t -> at:int -> k:int -> cls:int -> Query.result
 (** Algorithm 4: submit the query for [k] hosts of class [cls] at host
     [at].  The paper forwards to "any" neighbor whose CRT column promises
     a big-enough cluster; [`Best_crt] (default) picks the most promising
     direction, [`First] the first qualifying neighbor (the routing-policy
-    ablation compares them). *)
+    ablation compares them).
+
+    Robustness: a hop to a dead or partitioned neighbor falls back to the
+    next qualifying neighbor; a hop over a lossy link is retried up to
+    [retries] times (default 2) before falling back; [hop_budget]
+    (default [n], unreachable on a simple tree path) caps the total
+    number of forwardings.  A query submitted at a dead host is an
+    immediate miss. *)
 
 val query_bandwidth :
-  ?policy:[ `Best_crt | `First ] -> t -> at:int -> k:int -> b:float -> Query.result
+  ?policy:[ `Best_crt | `First ] ->
+  ?hop_budget:int ->
+  ?retries:int ->
+  t -> at:int -> k:int -> b:float -> Query.result
 (** Convenience: maps [b] to the cheapest class that guarantees it; a miss
     when no class covers [b]. *)
 
@@ -85,6 +116,20 @@ val max_reachable : t -> int -> cls:int -> int
 
 val messages_sent : t -> int
 val rounds_run : t -> int
+
+val retries : t -> int
+(** Timeout-triggered retransmissions of unacknowledged updates. *)
+
+val duplicates_suppressed : t -> int
+(** Updates received with an already-seen sequence number and discarded. *)
+
+val stale_discarded : t -> int
+(** Updates received out of order (older than the applied state) and
+    discarded. *)
+
+val pending_unacked : t -> int
+(** Updates still awaiting acknowledgement (0 at quiescence on a healing
+    network). *)
 
 val mark_all_dirty : t -> unit
 (** Forces every host to recompute and repropagate — used after the

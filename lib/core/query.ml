@@ -16,18 +16,20 @@ let bandwidth_of ?c t = Bwc_metric.Bandwidth.of_distance ?c t.l
 type result = {
   cluster : int list option;
   hops : int;
+  retries : int;
   path : int list;
 }
 
 let found r = r.cluster <> None
-let not_found_at node = { cluster = None; hops = 0; path = [ node ] }
+let not_found_at node = { cluster = None; hops = 0; retries = 0; path = [ node ] }
 
 let pp ppf t = Format.fprintf ppf "(k=%d, l=%.3f)" t.k t.l
 
 let pp_result ppf r =
+  let pp_retries ppf n = if n > 0 then Format.fprintf ppf " (%d retries)" n in
   match r.cluster with
-  | None -> Format.fprintf ppf "not found after %d hops" r.hops
+  | None -> Format.fprintf ppf "not found after %d hops%a" r.hops pp_retries r.retries
   | Some c ->
-      Format.fprintf ppf "found {%s} after %d hops"
+      Format.fprintf ppf "found {%s} after %d hops%a"
         (String.concat ", " (List.map string_of_int c))
-        r.hops
+        r.hops pp_retries r.retries

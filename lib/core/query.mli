@@ -21,6 +21,7 @@ val bandwidth_of : ?c:float -> t -> float
 type result = {
   cluster : int list option; (** the [k] hosts, or [None] when not found *)
   hops : int;                (** query forwardings (0 = answered where submitted) *)
+  retries : int;             (** hop retransmissions spent on lossy links *)
   path : int list;           (** hosts visited, submission point first *)
 }
 

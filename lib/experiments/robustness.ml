@@ -1,0 +1,213 @@
+module Rng = Bwc_stats.Rng
+module Dataset = Bwc_dataset.Dataset
+module Ensemble = Bwc_predtree.Ensemble
+module Fault = Bwc_sim.Fault
+module Protocol = Bwc_core.Protocol
+
+type row = {
+  drop : float;
+  crash_rate : float;
+  crashes : int;
+  converged : bool;
+  fixpoint_match : bool;
+  rounds : int;
+  round_overhead : float;
+  messages : int;
+  message_overhead : float;
+  retries : int;
+  dup_suppressed : int;
+  lost : int;
+  duplicated : int;
+  delayed : int;
+  rr : float;
+  rr_delta : float;
+  query_retries : int;
+}
+
+type output = {
+  dataset : string;
+  n : int;
+  duplicate : float;
+  jitter : int;
+  queries : int;
+  clean_rounds : int;
+  rr_clean : float;
+  rows : row list;
+}
+
+(* identical CRT tables: own rows and every neighbor column *)
+let fixpoint_matches ~n ens a b =
+  let same x v = Protocol.crt_row a x v = Protocol.crt_row b x v in
+  let ok = ref true in
+  for x = 0 to n - 1 do
+    if not (same x x) then ok := false;
+    List.iter
+      (fun m -> if not (same x m) then ok := false)
+      (Ensemble.anchor_neighbors ens x)
+  done;
+  !ok
+
+(* every host except the root gets at most one crash window *)
+let random_crashes ~rng ~n ~crash_rate =
+  let crashes = ref [] in
+  for host = 1 to n - 1 do
+    if crash_rate > 0.0 && Rng.float rng 1.0 < crash_rate then begin
+      let down_from = 2 + Rng.int rng 8 in
+      let duration = 2 + Rng.int rng 6 in
+      crashes :=
+        { Fault.node = host; down_from; up_at = down_from + duration } :: !crashes
+    end
+  done;
+  !crashes
+
+(* the same seeded query stream is replayed against every configuration *)
+let measure_rr ~seed ~queries ~n ~lo ~hi protocol =
+  let rng = Rng.create seed in
+  let found = ref 0 in
+  let retries = ref 0 in
+  for _ = 1 to queries do
+    let at = Rng.int rng n in
+    let k = 2 + Rng.int rng 6 in
+    let b = Rng.uniform rng lo hi in
+    let r = Protocol.query_bandwidth protocol ~at ~k ~b in
+    if Bwc_core.Query.found r then incr found;
+    retries := !retries + r.Bwc_core.Query.retries
+  done;
+  (float_of_int !found /. float_of_int queries, !retries)
+
+let run ?(drops = [ 0.0; 0.1; 0.2; 0.3 ]) ?(crash_rates = [ 0.0; 0.15 ])
+    ?(duplicate = 0.1) ?(jitter = 2) ?(queries = 60) ?(max_rounds = 600)
+    ?(n_cut = 4) ?(class_count = 5) ~seed dataset =
+  let n = Dataset.size dataset in
+  let space = Dataset.metric dataset in
+  let classes = Bwc_core.Classes.of_percentiles ~count:class_count dataset in
+  let lo, hi = Workload.bandwidth_range dataset in
+  (* identical ensemble and protocol seeds per configuration, so any
+     difference in the outcome is attributable to the fault plan alone *)
+  let build ?faults () =
+    let ens = Ensemble.build ~rng:(Rng.create (seed + 1)) space in
+    let p = Protocol.create ~rng:(Rng.create (seed + 2)) ~n_cut ?faults ~classes ens in
+    let rounds = Protocol.run_aggregation ~max_rounds p in
+    (ens, p, rounds)
+  in
+  let ens, clean, clean_rounds = build () in
+  let clean_messages = Protocol.messages_sent clean in
+  let rr_clean, _ = measure_rr ~seed:(seed + 3) ~queries ~n ~lo ~hi clean in
+  let rows =
+    List.concat_map
+      (fun drop ->
+        List.map
+          (fun crash_rate ->
+            let crash_rng =
+              Rng.create
+                (seed + 7
+                + int_of_float (drop *. 1000.0)
+                + int_of_float (crash_rate *. 100_000.0))
+            in
+            let crashes = random_crashes ~rng:crash_rng ~n ~crash_rate in
+            let faults =
+              Fault.create ~drop ~duplicate ~jitter ~crashes
+                ~rng:(Rng.split crash_rng) ()
+            in
+            let _, p, rounds = build ~faults () in
+            let rr, query_retries =
+              measure_rr ~seed:(seed + 3) ~queries ~n ~lo ~hi p
+            in
+            {
+              drop;
+              crash_rate;
+              crashes = List.length crashes;
+              converged = rounds < max_rounds;
+              fixpoint_match = fixpoint_matches ~n ens clean p;
+              rounds;
+              round_overhead = float_of_int rounds /. float_of_int clean_rounds;
+              messages = Protocol.messages_sent p;
+              message_overhead =
+                float_of_int (Protocol.messages_sent p)
+                /. float_of_int clean_messages;
+              retries = Protocol.retries p;
+              dup_suppressed = Protocol.duplicates_suppressed p;
+              lost = Fault.lost faults;
+              duplicated = Fault.duplicated faults;
+              delayed = Fault.delayed faults;
+              rr;
+              rr_delta = rr_clean -. rr;
+              query_retries;
+            })
+          crash_rates)
+      drops
+  in
+  {
+    dataset = dataset.Dataset.name;
+    n;
+    duplicate;
+    jitter;
+    queries;
+    clean_rounds;
+    rr_clean;
+    rows;
+  }
+
+let b v = if v then "yes" else "no"
+
+let print output =
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Robustness under faults (dup=%.2f jitter=%d, clean: %d rounds, RR %.3f) -- %s \
+          n=%d"
+         output.duplicate output.jitter output.clean_rounds output.rr_clean
+         output.dataset output.n)
+    ~headers:
+      [
+        "drop"; "crash"; "windows"; "conv"; "fixpoint"; "rounds"; "x rounds"; "msgs";
+        "x msgs"; "retries"; "RR"; "dRR";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Report.f3 r.drop;
+           Report.f3 r.crash_rate;
+           Report.i r.crashes;
+           b r.converged;
+           b r.fixpoint_match;
+           Report.i r.rounds;
+           Report.f3 r.round_overhead;
+           Report.i r.messages;
+           Report.f3 r.message_overhead;
+           Report.i r.retries;
+           Report.f3 r.rr;
+           Report.f3 r.rr_delta;
+         ])
+       output.rows)
+
+let save_csv output path =
+  Report.save_csv ~path
+    ~headers:
+      [
+        "drop"; "crash_rate"; "crash_windows"; "converged"; "fixpoint_match"; "rounds";
+        "round_overhead"; "messages"; "message_overhead"; "retries"; "dup_suppressed";
+        "lost"; "duplicated"; "delayed"; "rr"; "rr_delta"; "query_retries";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Report.f3 r.drop;
+           Report.f3 r.crash_rate;
+           Report.i r.crashes;
+           b r.converged;
+           b r.fixpoint_match;
+           Report.i r.rounds;
+           Report.f3 r.round_overhead;
+           Report.i r.messages;
+           Report.f3 r.message_overhead;
+           Report.i r.retries;
+           Report.i r.dup_suppressed;
+           Report.i r.lost;
+           Report.i r.duplicated;
+           Report.i r.delayed;
+           Report.f3 r.rr;
+           Report.f3 r.rr_delta;
+           Report.i r.query_retries;
+         ])
+       output.rows)

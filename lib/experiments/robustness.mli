@@ -1,0 +1,59 @@
+(** E12: robustness of the decentralized system under injected faults.
+
+    For each (drop probability, crash rate) configuration the experiment
+    rebuilds the {e same} ensemble and protocol (same seeds), runs the
+    aggregation under a {!Bwc_sim.Fault} plan (message loss, duplication
+    and reordering jitter plus randomly scheduled crash/restart windows),
+    and compares against the fault-free baseline: did it converge, does
+    it reach the identical CRT fixed point, how many extra rounds and
+    messages did reliability cost, and how does the query recall rate
+    move.  The CSV export is the machine-readable acceptance report. *)
+
+type row = {
+  drop : float;            (** per-message loss probability *)
+  crash_rate : float;      (** per-host probability of one crash window *)
+  crashes : int;           (** crash windows actually scheduled *)
+  converged : bool;        (** quiescent before the round cap *)
+  fixpoint_match : bool;   (** identical CRT tables to the fault-free run *)
+  rounds : int;
+  round_overhead : float;  (** rounds / fault-free rounds *)
+  messages : int;
+  message_overhead : float;(** messages / fault-free messages *)
+  retries : int;           (** protocol retransmissions *)
+  dup_suppressed : int;    (** duplicate updates discarded *)
+  lost : int;              (** messages the fault plan dropped *)
+  duplicated : int;        (** messages the fault plan duplicated *)
+  delayed : int;           (** messages the fault plan jittered *)
+  rr : float;              (** recall rate of the query workload *)
+  rr_delta : float;        (** fault-free RR minus faulty RR *)
+  query_retries : int;     (** hop retransmissions across the workload *)
+}
+
+type output = {
+  dataset : string;
+  n : int;
+  duplicate : float;
+  jitter : int;
+  queries : int;
+  clean_rounds : int;
+  rr_clean : float;
+  rows : row list;
+}
+
+val run :
+  ?drops:float list ->
+  ?crash_rates:float list ->
+  ?duplicate:float ->
+  ?jitter:int ->
+  ?queries:int ->
+  ?max_rounds:int ->
+  ?n_cut:int ->
+  ?class_count:int ->
+  seed:int ->
+  Bwc_dataset.Dataset.t ->
+  output
+(** Defaults: drops [0; 0.1; 0.2; 0.3], crash rates [0; 0.15],
+    duplicate 0.1, jitter 2, 60 queries, round cap 600. *)
+
+val print : output -> unit
+val save_csv : output -> string -> unit

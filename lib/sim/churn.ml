@@ -11,8 +11,10 @@ let scripted events =
   List.iter
     (fun (round, ev) ->
       let cur = match Hashtbl.find_opt by_round round with Some l -> l | None -> [] in
-      Hashtbl.replace by_round round (cur @ [ ev ]))
+      Hashtbl.replace by_round round (ev :: cur))
     events;
+  (* stored reversed to keep inserts O(1); flip once into schedule order *)
+  Hashtbl.filter_map_inplace (fun _ evs -> Some (List.rev evs)) by_round;
   { by_round }
 
 let random ~rng ~n ~rounds ~leave_prob ~rejoin_prob =

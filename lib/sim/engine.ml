@@ -4,6 +4,7 @@ type 'msg t = {
   rng : Rng.t;
   n : int;
   active : bool array;
+  faults : Fault.t;
   edge_delay : src:int -> dst:int -> int;
   (* messages in flight: delivery round -> (dst, src, msg), FIFO within a
      round because the table holds reversed lists flipped at delivery *)
@@ -15,12 +16,13 @@ type 'msg t = {
   mutable dropped : int;
 }
 
-let create ?(edge_delay = fun ~src:_ ~dst:_ -> 1) ~rng n =
+let create ?(faults = Fault.none) ?(edge_delay = fun ~src:_ ~dst:_ -> 1) ~rng n =
   if n <= 0 then invalid_arg "Engine.create: n <= 0";
   {
     rng;
     n;
     active = Array.make n true;
+    faults;
     edge_delay;
     in_flight = Hashtbl.create 64;
     inbox = Array.init n (fun _ -> Queue.create ());
@@ -32,21 +34,27 @@ let create ?(edge_delay = fun ~src:_ ~dst:_ -> 1) ~rng n =
 
 let n t = t.n
 let round t = t.round
+let faults t = t.faults
 
 let check t i = if i < 0 || i >= t.n then invalid_arg "Engine: node id out of range"
+
+let enqueue t ~due entry =
+  let waiting = Option.value ~default:[] (Hashtbl.find_opt t.in_flight due) in
+  Hashtbl.replace t.in_flight due (entry :: waiting);
+  t.flying <- t.flying + 1
 
 let send t ~src ~dst msg =
   check t src;
   check t dst;
-  if t.active.(dst) then begin
-    let delay = Stdlib.max 1 (t.edge_delay ~src ~dst) in
-    let due = t.round + delay in
-    let waiting = Option.value ~default:[] (Hashtbl.find_opt t.in_flight due) in
-    Hashtbl.replace t.in_flight due ((dst, src, msg) :: waiting);
-    t.flying <- t.flying + 1;
-    t.sent <- t.sent + 1
-  end
-  else t.dropped <- t.dropped + 1
+  t.sent <- t.sent + 1;
+  (* The sender cannot know whether the destination is up: the message is
+     enqueued unconditionally and dropped at delivery time if the
+     destination is down by then (run_round's check). *)
+  match Fault.on_send t.faults ~round:t.round ~src ~dst with
+  | Fault.Blocked (`Partition | `Loss) -> t.dropped <- t.dropped + 1
+  | Fault.Deliver extras ->
+      let delay = Stdlib.max 1 (t.edge_delay ~src ~dst) in
+      List.iter (fun extra -> enqueue t ~due:(t.round + delay + extra) (dst, src, msg)) extras
 
 let set_active t i b =
   check t i;
@@ -69,11 +77,23 @@ let is_active t i =
 
 let active_count t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.active
 
+let clear_in_flight t =
+  t.dropped <- t.dropped + t.flying;
+  t.flying <- 0;
+  Hashtbl.reset t.in_flight;
+  Array.iter Queue.clear t.inbox
+
 let run_round t ~step =
   (* Advance the clock, then deliver everything due at the new round;
      sends during the round are stamped with the new time, so a 1-round
      delay reproduces the classic "visible next round" model. *)
   t.round <- t.round + 1;
+  (* scripted crash/restart windows fire at the round boundary, before
+     delivery: a node crashing this round loses its in-flight traffic, a
+     node restarting this round receives traffic due now *)
+  List.iter
+    (fun (node, up) -> if node >= 0 && node < t.n then set_active t node up)
+    (Fault.crashes_at t.faults t.round);
   let delivered = ref 0 in
   (match Hashtbl.find_opt t.in_flight t.round with
   | Some waiting ->

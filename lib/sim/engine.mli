@@ -5,35 +5,64 @@
     paper's aggregation protocols (Algorithms 2 and 3) assume.  Node step
     order within a round is randomised, inactive nodes neither step nor
     receive, and the engine reports both per-round activity and message
-    totals so experiments can account for protocol overhead. *)
+    totals so experiments can account for protocol overhead.
+
+    An optional {!Fault} plan injects unreliable-network behaviour:
+    message loss, duplication, jittered (reordering) delays, scripted
+    link partitions, and node crash/restart windows. *)
 
 type 'msg t
 
-val create : ?edge_delay:(src:int -> dst:int -> int) -> rng:Bwc_stats.Rng.t -> int -> 'msg t
+val create :
+  ?faults:Fault.t ->
+  ?edge_delay:(src:int -> dst:int -> int) ->
+  rng:Bwc_stats.Rng.t ->
+  int ->
+  'msg t
 (** [create ~rng n] allocates [n] node slots, all initially active.  [edge_delay] gives each
     directed edge a fixed delivery delay in rounds (default: 1 round for
     every edge, the classic lockstep model).  A fixed per-edge delay
-    keeps links FIFO, which gossip protocols that only re-send on change
-    rely on; values below 1 are clamped to 1. *)
+    keeps links FIFO; values below 1 are clamped to 1.  [faults]
+    (default {!Fault.none}) is consulted on every send and at every
+    round boundary; fault jitter {e does} reorder messages, so protocols
+    running under a jittering plan must tolerate non-FIFO links. *)
 
 val n : 'msg t -> int
 val round : 'msg t -> int
 (** Rounds completed so far. *)
 
+val faults : 'msg t -> Fault.t
+(** The fault plan the engine was created with ({!Fault.none} when no
+    plan was given). *)
+
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
-(** Enqueues for delivery next round.  Messages to inactive nodes are
-    dropped (counted in {!dropped}). *)
+(** Enqueues for delivery next round.  The sender cannot observe the
+    destination's liveness: the message is enqueued even when the
+    destination is currently down, and dropped at {e delivery} time if
+    the destination is down then (counted in {!dropped}).  The fault
+    plan may lose, duplicate or further delay the message. *)
 
 val set_active : 'msg t -> int -> bool -> unit
+(** Deactivating a node drops its queued inbox and everything in flight
+    towards it (a crash loses undelivered traffic); traffic sent while
+    it is down is delivered only if it is active again by delivery
+    time. *)
+
 val is_active : 'msg t -> int -> bool
 val active_count : 'msg t -> int
 
+val clear_in_flight : 'msg t -> unit
+(** Drops every undelivered message (counted in {!dropped}).  Used when
+    the overlay is rebuilt and in-flight traffic belongs to a dead
+    topology. *)
+
 val run_round : 'msg t -> step:(int -> (int * 'msg) list -> bool) -> bool
-(** Delivers every message whose delay has elapsed, then steps each active
-    node in random order with its inbox (list of [(src, msg)], oldest
-    first).  [step] returns whether the node's state changed; the round
-    returns whether {e any} node changed, any message was delivered, or
-    messages are still in flight. *)
+(** Applies scripted crash/restart transitions, delivers every message
+    whose delay has elapsed, then steps each active node in random order
+    with its inbox (list of [(src, msg)], oldest first).  [step] returns
+    whether the node's state changed; the round returns whether {e any}
+    node changed, any message was delivered, or messages are still in
+    flight. *)
 
 val run_until_stable :
   'msg t -> max_rounds:int -> step:(int -> (int * 'msg) list -> bool) ->

@@ -1,0 +1,118 @@
+module Rng = Bwc_stats.Rng
+
+type partition = {
+  starts : int;
+  heals : int;
+  severs : src:int -> dst:int -> bool;
+}
+
+type crash = {
+  node : int;
+  down_from : int;
+  up_at : int;
+}
+
+type t = {
+  rng : Rng.t;
+  drop : float;
+  duplicate : float;
+  jitter : int;
+  partitions : partition list;
+  transitions : (int, (int * bool) list) Hashtbl.t; (* round -> (node, up) *)
+  mutable lost : int;
+  mutable duplicated : int;
+  mutable delayed : int;
+  mutable partition_dropped : int;
+}
+
+let make ~rng ~drop ~duplicate ~jitter ~partitions ~crashes =
+  if drop < 0.0 || drop > 1.0 then invalid_arg "Fault.create: drop not in [0,1]";
+  if duplicate < 0.0 || duplicate > 1.0 then
+    invalid_arg "Fault.create: duplicate not in [0,1]";
+  if jitter < 0 then invalid_arg "Fault.create: negative jitter";
+  let transitions = Hashtbl.create (Stdlib.max 1 (2 * List.length crashes)) in
+  let schedule round ev =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt transitions round) in
+    Hashtbl.replace transitions round (ev :: cur)
+  in
+  List.iter
+    (fun c ->
+      if c.up_at <= c.down_from then invalid_arg "Fault.create: empty crash window";
+      schedule c.down_from (c.node, false);
+      if c.up_at < max_int then schedule c.up_at (c.node, true))
+    crashes;
+  (* downs before ups within a round, insertion order otherwise *)
+  Hashtbl.filter_map_inplace
+    (fun _ evs ->
+      let evs = List.rev evs in
+      Some (List.filter (fun (_, up) -> not up) evs @ List.filter snd evs))
+    transitions;
+  {
+    rng;
+    drop;
+    duplicate;
+    jitter;
+    partitions;
+    transitions;
+    lost = 0;
+    duplicated = 0;
+    delayed = 0;
+    partition_dropped = 0;
+  }
+
+let none =
+  make ~rng:(Rng.create 0) ~drop:0.0 ~duplicate:0.0 ~jitter:0 ~partitions:[]
+    ~crashes:[]
+
+let create ?(drop = 0.0) ?(duplicate = 0.0) ?(jitter = 0) ?(partitions = [])
+    ?(crashes = []) ~rng () =
+  make ~rng ~drop ~duplicate ~jitter ~partitions ~crashes
+
+let isolate ~starts ~heals ~group =
+  let inside = Hashtbl.create (Stdlib.max 1 (List.length group)) in
+  List.iter (fun h -> Hashtbl.replace inside h ()) group;
+  { starts; heals; severs = (fun ~src ~dst -> Hashtbl.mem inside src <> Hashtbl.mem inside dst) }
+
+let partitioned t ~round ~src ~dst =
+  List.exists
+    (fun p -> p.starts <= round && round < p.heals && p.severs ~src ~dst)
+    t.partitions
+
+let sample_loss t = t.drop > 0.0 && Rng.float t.rng 1.0 < t.drop
+
+let sample_jitter t = if t.jitter = 0 then 0 else Rng.int t.rng (t.jitter + 1)
+
+type verdict =
+  | Blocked of [ `Partition | `Loss ]
+  | Deliver of int list
+
+let on_send t ~round ~src ~dst =
+  if partitioned t ~round ~src ~dst then begin
+    t.partition_dropped <- t.partition_dropped + 1;
+    Blocked `Partition
+  end
+  else if sample_loss t then begin
+    t.lost <- t.lost + 1;
+    Blocked `Loss
+  end
+  else begin
+    let jitter_of () =
+      let j = sample_jitter t in
+      if j > 0 then t.delayed <- t.delayed + 1;
+      j
+    in
+    let first = jitter_of () in
+    if t.duplicate > 0.0 && Rng.float t.rng 1.0 < t.duplicate then begin
+      t.duplicated <- t.duplicated + 1;
+      Deliver [ first; jitter_of () ]
+    end
+    else Deliver [ first ]
+  end
+
+let crashes_at t round =
+  Option.value ~default:[] (Hashtbl.find_opt t.transitions round)
+
+let lost t = t.lost
+let duplicated t = t.duplicated
+let delayed t = t.delayed
+let partition_dropped t = t.partition_dropped

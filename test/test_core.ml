@@ -379,6 +379,183 @@ let test_aggregation_quiescence () =
   (* a further round on a static network must be a no-op *)
   Alcotest.(check bool) "quiescent" false (Protocol.run_round protocol)
 
+(* ----- Robustness: faults must not change the fixed point ----- *)
+
+let check_same_fixpoint ~n ens clean faulty =
+  for x = 0 to n - 1 do
+    Alcotest.(check (array int))
+      (Printf.sprintf "own row of %d" x)
+      (Protocol.crt_row clean x x) (Protocol.crt_row faulty x x);
+    List.iter
+      (fun m ->
+        Alcotest.(check (array int))
+          (Printf.sprintf "column %d->%d" x m)
+          (Protocol.crt_row clean x m) (Protocol.crt_row faulty x m))
+      (Ensemble.anchor_neighbors ens x)
+  done
+
+let test_faults_reach_same_fixpoint () =
+  (* message loss, duplication and reordering jitter slow convergence but
+     must not change what the aggregation converges to (the acceptance
+     property of the reliable-delivery layer) *)
+  let ds = small_dataset ~seed:70 20 in
+  let space = Bwc_dataset.Dataset.metric ds in
+  let classes = Classes.of_percentiles ~count:5 ds in
+  let make ?faults () =
+    let ens = Ensemble.build ~rng:(Rng.create 71) space in
+    let p = Protocol.create ~rng:(Rng.create 72) ~n_cut:4 ?faults ~classes ens in
+    let rounds = Protocol.run_aggregation ~max_rounds:600 p in
+    (ens, p, rounds)
+  in
+  let ens, clean, clean_rounds = make () in
+  let faults =
+    Bwc_sim.Fault.create ~drop:0.2 ~duplicate:0.1 ~jitter:2 ~rng:(Rng.create 73) ()
+  in
+  let _, faulty, faulty_rounds = make ~faults () in
+  Alcotest.(check bool) "converged under faults" true (faulty_rounds < 600);
+  (* overhead is bounded: retransmission paces recovery at resend_timeout
+     rounds per lost hop, nowhere near the cap *)
+  Alcotest.(check bool)
+    (Printf.sprintf "round overhead bounded (%d clean, %d faulty)" clean_rounds
+       faulty_rounds)
+    true
+    (faulty_rounds <= (8 * clean_rounds) + 40);
+  check_same_fixpoint ~n:20 ens clean faulty;
+  Alcotest.(check bool) "losses were injected" true (Bwc_sim.Fault.lost faults > 0);
+  Alcotest.(check bool) "duplicates were injected" true
+    (Bwc_sim.Fault.duplicated faults > 0);
+  Alcotest.(check bool) "retransmissions happened" true (Protocol.retries faulty > 0);
+  Alcotest.(check bool) "duplicates suppressed" true
+    (Protocol.duplicates_suppressed faulty > 0);
+  Alcotest.(check int) "nothing pending at quiescence" 0
+    (Protocol.pending_unacked faulty)
+
+let test_crash_restart_converges () =
+  (* hosts that crash mid-aggregation and restart later: retransmission
+     repairs the tables and the fixed point is unchanged *)
+  let ds = small_dataset ~seed:74 18 in
+  let space = Bwc_dataset.Dataset.metric ds in
+  let classes = Classes.of_percentiles ~count:5 ds in
+  let make ?faults () =
+    let ens = Ensemble.build ~rng:(Rng.create 75) space in
+    let p = Protocol.create ~rng:(Rng.create 76) ~n_cut:4 ?faults ~classes ens in
+    let rounds = Protocol.run_aggregation ~max_rounds:600 p in
+    (ens, p, rounds)
+  in
+  let ens, clean, _ = make () in
+  let faults =
+    Bwc_sim.Fault.create
+      ~crashes:
+        [
+          { Bwc_sim.Fault.node = 5; down_from = 2; up_at = 8 };
+          { Bwc_sim.Fault.node = 11; down_from = 4; up_at = 10 };
+        ]
+      ~rng:(Rng.create 77) ()
+  in
+  let _, faulty, rounds = make ~faults () in
+  Alcotest.(check bool) "converged after restarts" true (rounds < 600);
+  check_same_fixpoint ~n:18 ens clean faulty;
+  Alcotest.(check int) "nothing pending at quiescence" 0
+    (Protocol.pending_unacked faulty)
+
+let test_partition_heals_and_queries_succeed () =
+  (* a scripted partition splits the overlay for a window; once it heals,
+     retransmission repairs the aggregation and every promised query is
+     answered again *)
+  let ds = small_dataset ~seed:78 20 in
+  let space = Bwc_dataset.Dataset.metric ds in
+  let classes = Classes.of_percentiles ~count:5 ds in
+  let make ?faults () =
+    let ens = Ensemble.build ~rng:(Rng.create 79) space in
+    let p = Protocol.create ~rng:(Rng.create 80) ~n_cut:4 ?faults ~classes ens in
+    let rounds = Protocol.run_aggregation ~max_rounds:600 p in
+    (ens, p, rounds)
+  in
+  let ens, clean, _ = make () in
+  let faults =
+    Bwc_sim.Fault.create
+      ~partitions:[ Bwc_sim.Fault.isolate ~starts:2 ~heals:9 ~group:[ 3; 7 ] ]
+      ~rng:(Rng.create 81) ()
+  in
+  let _, faulty, rounds = make ~faults () in
+  Alcotest.(check bool) "converged after heal" true (rounds < 600);
+  Alcotest.(check bool) "partition actually cut traffic" true
+    (Bwc_sim.Fault.partition_dropped faults > 0);
+  check_same_fixpoint ~n:20 ens clean faulty;
+  for x = 0 to 19 do
+    for cls = 0 to Classes.count classes - 1 do
+      let promised = Protocol.max_reachable faulty x ~cls in
+      if promised >= 2 then begin
+        let r = Protocol.query faulty ~at:x ~k:promised ~cls in
+        if not (Query.found r) then
+          Alcotest.failf "host %d: promised k=%d missed after heal" x promised
+      end
+    done
+  done
+
+let test_query_hop_budget () =
+  let _, _, protocol = build_protocol ~seed:82 24 in
+  let classes = Protocol.classes protocol in
+  let forwarding_needed = ref 0 in
+  for x = 0 to 23 do
+    for cls = 0 to Classes.count classes - 1 do
+      let own = (Protocol.crt_row protocol x x).(cls) in
+      let promised = Protocol.max_reachable protocol x ~cls in
+      if promised >= 2 then begin
+        let r = Protocol.query protocol ~hop_budget:0 ~at:x ~k:promised ~cls in
+        Alcotest.(check int) "budget 0 never forwards" 0 r.Query.hops;
+        (* with no budget the query can only be answered from the local
+           clustering space *)
+        if promised > own then begin
+          incr forwarding_needed;
+          if Query.found r then
+            Alcotest.failf "host %d answered k=%d locally with own row %d" x promised
+              own
+        end
+      end
+    done
+  done;
+  Alcotest.(check bool) "the budget constrained at least one query" true
+    (!forwarding_needed > 0)
+
+let test_query_skips_dead_hosts () =
+  let ds = small_dataset ~seed:83 20 in
+  let space = Bwc_dataset.Dataset.metric ds in
+  let ens = Ensemble.build ~rng:(Rng.create 84) space in
+  let classes = Classes.of_percentiles ~count:5 ds in
+  (* crash an anchor-tree leaf permanently *)
+  let dead =
+    let rec find x =
+      if x >= 20 then Alcotest.fail "no leaf found"
+      else if List.length (Ensemble.anchor_neighbors ens x) = 1 then x
+      else find (x + 1)
+    in
+    find 1
+  in
+  let faults =
+    Bwc_sim.Fault.create
+      ~crashes:[ { Bwc_sim.Fault.node = dead; down_from = 1; up_at = max_int } ]
+      ~rng:(Rng.create 85) ()
+  in
+  let protocol = Protocol.create ~rng:(Rng.create 86) ~n_cut:4 ~faults ~classes ens in
+  (* updates to the dead host are never acknowledged, so aggregation
+     keeps retrying until the round cap — by design *)
+  let (_ : int) = Protocol.run_aggregation ~max_rounds:60 protocol in
+  Alcotest.(check bool) "unacked updates to the dead host remain" true
+    (Protocol.pending_unacked protocol > 0);
+  for x = 0 to 19 do
+    if x <> dead then
+      for cls = 0 to Classes.count classes - 1 do
+        let r = Protocol.query protocol ~at:x ~k:2 ~cls in
+        if List.mem dead r.Query.path then
+          Alcotest.failf "query from %d routed through dead host %d" x dead
+      done
+  done;
+  (* a query submitted at the dead host is an immediate miss *)
+  let r = Protocol.query protocol ~at:dead ~k:2 ~cls:0 in
+  Alcotest.(check bool) "miss at dead host" false (Query.found r);
+  Alcotest.(check (list int)) "path is just the dead host" [ dead ] r.Query.path
+
 (* ----- Algorithm 4: query routing ----- *)
 
 let test_query_finds_promised_clusters () =
@@ -914,6 +1091,18 @@ let () =
             test_delays_reach_same_fixpoint;
           Alcotest.test_case "global max agreed everywhere" `Quick
             test_global_max_agrees_everywhere;
+        ] );
+      ( "robustness",
+        [
+          Alcotest.test_case "same fixpoint under loss/dup/jitter" `Quick
+            test_faults_reach_same_fixpoint;
+          Alcotest.test_case "crash/restart converges" `Quick
+            test_crash_restart_converges;
+          Alcotest.test_case "partition heals, queries succeed" `Quick
+            test_partition_heals_and_queries_succeed;
+          Alcotest.test_case "hop budget caps forwarding" `Quick test_query_hop_budget;
+          Alcotest.test_case "routing skips dead hosts" `Quick
+            test_query_skips_dead_hosts;
         ] );
       ( "query",
         [

@@ -242,6 +242,33 @@ let test_routing_shapes () =
       Alcotest.(check bool) "hops sane" true (r.hops_best >= 0.0 && r.hops_first >= 0.0))
     out.Bwc_experiments.Routing.rows
 
+let test_robustness_shapes () =
+  let ds = small_dataset ~seed:28 40 in
+  let out =
+    Bwc_experiments.Robustness.run ~drops:[ 0.0; 0.2 ] ~crash_rates:[ 0.0; 0.15 ]
+      ~queries:30 ~seed:29 ds
+  in
+  Alcotest.(check int) "rows" 4 (List.length out.Bwc_experiments.Robustness.rows);
+  List.iter
+    (fun r ->
+      let open Bwc_experiments.Robustness in
+      (* the acceptance property: every configuration converges to the
+         identical fixed point as the fault-free run *)
+      Alcotest.(check bool)
+        (Printf.sprintf "converged at drop=%.1f crash=%.2f" r.drop r.crash_rate)
+        true r.converged;
+      Alcotest.(check bool)
+        (Printf.sprintf "fixpoint match at drop=%.1f crash=%.2f" r.drop r.crash_rate)
+        true r.fixpoint_match;
+      Alcotest.(check bool) "reliability costs rounds" true (r.round_overhead >= 1.0);
+      Alcotest.(check bool) "reliability costs messages" true
+        (r.message_overhead >= 1.0);
+      if r.drop > 0.0 then begin
+        Alcotest.(check bool) "losses injected" true (r.lost > 0);
+        Alcotest.(check bool) "losses recovered by retries" true (r.retries > 0)
+      end)
+    out.Bwc_experiments.Robustness.rows
+
 let test_csv_export () =
   let ds = small_dataset ~seed:26 50 in
   let out = Bwc_experiments.Tradeoff.run ~rounds:1 ~per_k:2 ~seed:27 ds in
@@ -286,6 +313,7 @@ let () =
           Alcotest.test_case "oracle ablation (E9)" `Slow test_oracle_shapes;
           Alcotest.test_case "overhead (E10)" `Slow test_overhead_shapes;
           Alcotest.test_case "routing policy (E11)" `Slow test_routing_shapes;
+          Alcotest.test_case "robustness (E12)" `Slow test_robustness_shapes;
           Alcotest.test_case "csv export" `Quick test_csv_export;
         ] );
     ]

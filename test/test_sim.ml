@@ -6,6 +6,7 @@ module Rng = Bwc_stats.Rng
 module Event_queue = Bwc_sim.Event_queue
 module Engine = Bwc_sim.Engine
 module Churn = Bwc_sim.Churn
+module Fault = Bwc_sim.Fault
 
 (* ----- Event_queue ----- *)
 
@@ -94,13 +95,16 @@ let test_engine_inactive_nodes_drop () =
   let e = Engine.create ~rng:(Rng.create 6) 3 in
   Engine.set_active e 2 false;
   Engine.send e ~src:0 ~dst:2 "lost";
-  Alcotest.(check int) "dropped" 1 (Engine.dropped e);
+  (* the sender cannot know the destination is down: the message is
+     enqueued normally and only dropped at delivery time *)
+  Alcotest.(check int) "not dropped at send" 0 (Engine.dropped e);
   let stepped = ref [] in
   let (_ : bool) =
     Engine.run_round e ~step:(fun id _ ->
         stepped := id :: !stepped;
         false)
   in
+  Alcotest.(check int) "dropped at delivery" 1 (Engine.dropped e);
   Alcotest.(check bool) "inactive not stepped" false (List.mem 2 !stepped);
   Alcotest.(check int) "active count" 2 (Engine.active_count e)
 
@@ -136,9 +140,13 @@ let test_engine_change_keeps_running () =
   | `Max_rounds -> Alcotest.fail "should stabilise"
 
 let test_engine_reactivation () =
+  (* deactivation purges traffic already in flight; traffic sent while
+     the node is down travels normally and arrives if the node is back
+     up by delivery time *)
   let e = Engine.create ~rng:(Rng.create 11) 2 in
+  Engine.send e ~src:0 ~dst:1 "purged";
   Engine.set_active e 1 false;
-  Engine.send e ~src:0 ~dst:1 "lost";
+  Engine.send e ~src:0 ~dst:1 "in transit";
   Engine.set_active e 1 true;
   Engine.send e ~src:0 ~dst:1 "delivered";
   let got = ref [] in
@@ -147,7 +155,9 @@ let test_engine_reactivation () =
         if id = 1 then got := List.map snd inbox;
         false)
   in
-  Alcotest.(check (list string)) "only post-reactivation traffic" [ "delivered" ] !got
+  Alcotest.(check (list string)) "crash loses only in-flight traffic"
+    [ "in transit"; "delivered" ] !got;
+  Alcotest.(check int) "purge counted" 1 (Engine.dropped e)
 
 let test_engine_delayed_delivery () =
   (* a 3-round edge delivers exactly at +3 rounds, FIFO *)
@@ -195,6 +205,158 @@ let test_engine_message_conservation () =
   Alcotest.(check int) "all delivered" (Engine.messages_sent e - Engine.dropped e)
     !received
 
+(* ----- Fault injection ----- *)
+
+let test_fault_drop_all () =
+  let faults = Fault.create ~drop:1.0 ~rng:(Rng.create 20) () in
+  let e = Engine.create ~faults ~rng:(Rng.create 21) 2 in
+  Engine.send e ~src:0 ~dst:1 "a";
+  Engine.send e ~src:0 ~dst:1 "b";
+  let got = ref 0 in
+  for _ = 1 to 3 do
+    let (_ : bool) =
+      Engine.run_round e ~step:(fun _ inbox ->
+          got := !got + List.length inbox;
+          false)
+    in
+    ()
+  done;
+  Alcotest.(check int) "nothing delivered" 0 !got;
+  Alcotest.(check int) "losses counted by the plan" 2 (Fault.lost faults);
+  Alcotest.(check int) "losses counted by the engine" 2 (Engine.dropped e);
+  Alcotest.(check int) "sends still counted" 2 (Engine.messages_sent e)
+
+let test_fault_duplicate_all () =
+  let faults = Fault.create ~duplicate:1.0 ~rng:(Rng.create 22) () in
+  let e = Engine.create ~faults ~rng:(Rng.create 23) 2 in
+  Engine.send e ~src:0 ~dst:1 "x";
+  let got = ref 0 in
+  for _ = 1 to 3 do
+    let (_ : bool) =
+      Engine.run_round e ~step:(fun id inbox ->
+          if id = 1 then got := !got + List.length inbox;
+          false)
+    in
+    ()
+  done;
+  Alcotest.(check int) "delivered twice" 2 !got;
+  Alcotest.(check int) "duplication counted" 1 (Fault.duplicated faults)
+
+let test_fault_jitter_reorders () =
+  let faults = Fault.create ~jitter:3 ~rng:(Rng.create 24) () in
+  let e = Engine.create ~faults ~rng:(Rng.create 25) 2 in
+  for i = 1 to 20 do
+    Engine.send e ~src:0 ~dst:1 i
+  done;
+  let got = ref 0 in
+  let rounds = ref 0 in
+  while !got < 20 && !rounds < 10 do
+    incr rounds;
+    let (_ : bool) =
+      Engine.run_round e ~step:(fun id inbox ->
+          if id = 1 then got := !got + List.length inbox;
+          false)
+    in
+    ()
+  done;
+  Alcotest.(check int) "all delivered eventually" 20 !got;
+  Alcotest.(check bool) "some messages jittered" true (Fault.delayed faults > 0);
+  Alcotest.(check bool) "arrivals spread over several rounds" true (!rounds > 1);
+  Alcotest.(check int) "none lost" 0 (Engine.dropped e)
+
+let test_fault_partition_window () =
+  (* every link between {1} and the rest is cut during rounds [0, 2) *)
+  let p = Fault.isolate ~starts:0 ~heals:2 ~group:[ 1 ] in
+  let faults = Fault.create ~partitions:[ p ] ~rng:(Rng.create 26) () in
+  let e = Engine.create ~faults ~rng:(Rng.create 27) 2 in
+  let got = ref [] in
+  let step id inbox =
+    if id = 1 then got := !got @ List.map snd inbox;
+    false
+  in
+  Engine.send e ~src:0 ~dst:1 "cut";
+  let (_ : bool) = Engine.run_round e ~step in
+  Engine.send e ~src:0 ~dst:1 "still cut";
+  let (_ : bool) = Engine.run_round e ~step in
+  (* round 2: the partition has healed *)
+  Engine.send e ~src:0 ~dst:1 "healed";
+  let (_ : bool) = Engine.run_round e ~step in
+  Alcotest.(check (list string)) "only post-heal traffic" [ "healed" ] !got;
+  Alcotest.(check int) "partition drops counted" 2 (Fault.partition_dropped faults);
+  Alcotest.(check bool) "link cut during the window" true
+    (Fault.partitioned faults ~round:1 ~src:0 ~dst:1);
+  Alcotest.(check bool) "link restored after the window" false
+    (Fault.partitioned faults ~round:2 ~src:0 ~dst:1)
+
+let test_fault_crash_schedule () =
+  let faults =
+    Fault.create
+      ~crashes:[ { Fault.node = 1; down_from = 1; up_at = 3 } ]
+      ~rng:(Rng.create 28) ()
+  in
+  let e = Engine.create ~faults ~rng:(Rng.create 29) 2 in
+  let got = ref [] in
+  let step id inbox =
+    if id = 1 then got := !got @ List.map snd inbox;
+    false
+  in
+  Engine.send e ~src:0 ~dst:1 "in flight at crash";
+  let (_ : bool) = Engine.run_round e ~step in
+  Alcotest.(check bool) "down during the window" false (Engine.is_active e 1);
+  Engine.send e ~src:0 ~dst:1 "sent while down";
+  let (_ : bool) = Engine.run_round e ~step in
+  Engine.send e ~src:0 ~dst:1 "arrives at restart";
+  let (_ : bool) = Engine.run_round e ~step in
+  Alcotest.(check bool) "restarted" true (Engine.is_active e 1);
+  Alcotest.(check (list string)) "traffic due at restart is received"
+    [ "arrives at restart" ] !got;
+  Alcotest.(check int) "crash losses counted" 2 (Engine.dropped e)
+
+let test_fault_same_seed_deterministic () =
+  let run seed =
+    let faults =
+      Fault.create ~drop:0.3 ~duplicate:0.2 ~jitter:2 ~rng:(Rng.create seed) ()
+    in
+    let e = Engine.create ~faults ~rng:(Rng.create 99) 4 in
+    let got = ref [] in
+    for _ = 1 to 5 do
+      for dst = 1 to 3 do
+        Engine.send e ~src:0 ~dst (10 * dst)
+      done;
+      let (_ : bool) =
+        Engine.run_round e ~step:(fun id inbox ->
+            got := (id, List.map snd inbox) :: !got;
+            false)
+      in
+      ()
+    done;
+    (!got, Fault.lost faults, Fault.duplicated faults, Fault.delayed faults)
+  in
+  let a = run 42 and b = run 42 and c = run 43 in
+  Alcotest.(check bool) "same seed, same trace" true (a = b);
+  Alcotest.(check bool) "different seed, different trace" true (a <> c)
+
+let test_fault_none_is_transparent () =
+  let e = Engine.create ~faults:Fault.none ~rng:(Rng.create 30) 2 in
+  let e' = Engine.create ~rng:(Rng.create 30) 2 in
+  let trace eng =
+    Engine.send eng ~src:0 ~dst:1 "m";
+    let got = ref [] in
+    let (_ : bool) =
+      Engine.run_round eng ~step:(fun id inbox ->
+          got := (id, inbox) :: !got;
+          false)
+    in
+    !got
+  in
+  Alcotest.(check bool) "bit-identical to no plan" true (trace e = trace e');
+  Alcotest.(check int) "no losses" 0 (Fault.lost Fault.none)
+
+let test_fault_rejects_bad_config () =
+  Alcotest.check_raises "drop > 1"
+    (Invalid_argument "Fault.create: drop not in [0,1]")
+    (fun () -> ignore (Fault.create ~drop:1.5 ~rng:(Rng.create 1) ()))
+
 (* ----- Churn ----- *)
 
 let test_churn_scripted () =
@@ -206,7 +368,11 @@ let test_churn_scripted () =
   Alcotest.(check int) "total" 3 (List.length all);
   (match all with
   | (r, _) :: _ -> Alcotest.(check int) "sorted" 1 r
-  | [] -> Alcotest.fail "events expected")
+  | [] -> Alcotest.fail "events expected");
+  (* events sharing a round come back in script order *)
+  match Churn.events_at c 3 with
+  | [ Churn.Leave 1; Churn.Join 2 ] -> ()
+  | _ -> Alcotest.fail "same-round events must keep script order"
 
 let test_churn_random_consistent () =
   (* a node can only leave while up and rejoin while down *)
@@ -254,6 +420,19 @@ let () =
           Alcotest.test_case "delayed FIFO delivery" `Quick test_engine_delayed_delivery;
           Alcotest.test_case "message conservation" `Quick
             test_engine_message_conservation;
+        ] );
+      ( "fault",
+        [
+          Alcotest.test_case "drop 1.0 loses everything" `Quick test_fault_drop_all;
+          Alcotest.test_case "duplicate 1.0 delivers twice" `Quick
+            test_fault_duplicate_all;
+          Alcotest.test_case "jitter spreads arrivals" `Quick test_fault_jitter_reorders;
+          Alcotest.test_case "partition window" `Quick test_fault_partition_window;
+          Alcotest.test_case "crash/restart schedule" `Quick test_fault_crash_schedule;
+          Alcotest.test_case "same seed, same faults" `Quick
+            test_fault_same_seed_deterministic;
+          Alcotest.test_case "none is transparent" `Quick test_fault_none_is_transparent;
+          Alcotest.test_case "rejects bad config" `Quick test_fault_rejects_bad_config;
         ] );
       ( "churn",
         [
