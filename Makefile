@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full examples clean doc
+.PHONY: all build test bench bench-full examples clean doc lint lint-json
 
 all: build
 
@@ -9,6 +9,14 @@ build:
 
 test:
 	dune runtest
+
+# bwclint: determinism/robustness/complexity invariants (see DESIGN.md);
+# exits non-zero on any non-suppressed finding
+lint:
+	dune exec bin/bwclint.exe -- lib bin bench test examples
+
+lint-json:
+	dune exec bin/bwclint.exe -- --json bwclint-report.json lib bin bench test examples
 
 test-verbose:
 	dune runtest --force --no-buffer

@@ -91,7 +91,7 @@ let ablations () =
   List.iter
     (fun sigma ->
       let noisy =
-        if sigma = 0.0 then ds
+        if Float.equal sigma 0.0 then ds
         else Bwc_dataset.Noise.multiplicative ~rng:(Rng.create 61) ~sigma ds
       in
       let out = Bwc_experiments.Oracle.run ~queries_per_k:queries ~seed:7 noisy in
@@ -179,7 +179,7 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Bwc_euclid.Kdiam.Index.find kidx ~k:8 ~l:250.0)))
   in
   Test.make_grouped ~name:"bwcluster"
-    (alg1 @ index_build @ [ query_bench; label_bench; kdiam_bench ])
+    (List.concat [ alg1; index_build; [ query_bench; label_bench; kdiam_bench ] ])
 
 let run_micro () =
   section "Micro-benchmarks (Bechamel)  [E6: Algorithm 1 is O(n^3)]";
@@ -192,17 +192,18 @@ let run_micro () =
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let results = Analyze.all ols Instance.monotonic_clock raw in
   let rows =
-    Hashtbl.fold
-      (fun name ols acc ->
-        let ns =
-          match Analyze.OLS.estimates ols with
-          | Some (t :: _) -> t
-          | Some [] | None -> Float.nan
-        in
-        let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
-        (name, ns, r2) :: acc)
-      results []
-    |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+    (* sorted traversal keeps the printed table deterministic *)
+    List.rev
+      (Bwc_stats.Tbl.fold_sorted
+         (fun name ols acc ->
+           let ns =
+             match Analyze.OLS.estimates ols with
+             | Some (t :: _) -> t
+             | Some [] | None -> Float.nan
+           in
+           let r2 = Option.value ~default:Float.nan (Analyze.OLS.r_square ols) in
+           (name, ns, r2) :: acc)
+         results [])
   in
   Bwc_experiments.Report.table ~title:"per-run cost (monotonic clock)"
     ~headers:[ "benchmark"; "time/run"; "r^2" ]

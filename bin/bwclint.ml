@@ -1,0 +1,86 @@
+(* bwclint — determinism/robustness/complexity linter for this codebase.
+
+   Parses every .ml/.mli under the given paths with compiler-libs and
+   checks them against the Bwc_analysis rule catalog.  Exit codes:
+   0 clean, 1 findings, 2 parse failure (CI treats both 1 and 2 as red). *)
+
+module Engine = Bwc_analysis.Engine
+module Report = Bwc_analysis.Report
+
+open Cmdliner
+
+let paths_arg =
+  let doc = "Files or directories to lint (expanded recursively)." in
+  Arg.(value & pos_all string [ "lib"; "bin"; "bench"; "test" ]
+       & info [] ~docv:"PATH" ~doc)
+
+let json_arg =
+  let doc =
+    "Also write a JSON report to $(docv) (use $(b,-) for stdout)."
+  in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let list_rules_arg =
+  let doc = "Print the rule catalog and exit." in
+  Arg.(value & flag & info [ "list-rules" ] ~doc)
+
+let quiet_arg =
+  let doc = "Suppress the human-readable report on stdout." in
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
+
+let write_json result = function
+  | None -> ()
+  | Some "-" -> Report.json Format.std_formatter result
+  | Some file ->
+      let oc = open_out file in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          let ppf = Format.formatter_of_out_channel oc in
+          Report.json ppf result;
+          Format.pp_print_flush ppf ())
+
+let run paths json list_rules quiet =
+  if list_rules then begin
+    Report.rule_catalog Format.std_formatter ();
+    0
+  end
+  else begin
+    let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+    match missing with
+    | p :: _ ->
+        Format.eprintf "bwclint: no such file or directory: %s@." p;
+        2
+    | [] ->
+        let result = Engine.lint_paths paths in
+        if not quiet then Report.human Format.std_formatter result;
+        write_json result json;
+        if result.Engine.parse_failed then 2
+        else if result.Engine.findings <> [] then 1
+        else 0
+  end
+
+let cmd =
+  let doc =
+    "static lint pass enforcing determinism, robustness and complexity \
+     invariants"
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Walks the Parsetree of every OCaml source under PATH... and \
+         reports violations of the bwcluster invariant catalog (seeded \
+         determinism, total functions in protocol paths, linear-time \
+         accumulation, library purity).  See $(b,--list-rules).";
+      `P
+        "Findings are suppressed inline with (* bwclint: allow <rule> *) \
+         on the offending line or the line above; stale suppressions are \
+         themselves reported.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "bwclint" ~version:"%%VERSION%%" ~doc ~man)
+    Term.(const run $ paths_arg $ json_arg $ list_rules_arg $ quiet_arg)
+
+let () = Stdlib.exit (Cmd.eval' cmd)

@@ -62,7 +62,7 @@ let () =
     | { Bwc_core.Query.cluster = Some hosts; hops; _ } ->
         Format.printf "cluster placement found after %d hops@." hops;
         hosts
-    | _ -> failwith "no cluster found; try a smaller b"
+    | _ -> failwith "Desktop_grid.smart: no cluster found; try a smaller b"
   in
 
   (* 2. Random placement (what a naive scheduler does). *)

@@ -1,0 +1,69 @@
+(* Shared Parsetree-walking helpers for lint rules. *)
+
+type file =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+
+let flatten_longident lid =
+  let rec go acc = function
+    | Longident.Lident s -> s :: acc
+    | Longident.Ldot (l, s) -> go (s :: acc) l
+    | Longident.Lapply (a, b) -> go (go acc b) a
+  in
+  go [] lid
+
+(* [Stdlib.Random.int] and [Random.int] are the same function; rules
+   match on the Stdlib-stripped path. *)
+let normalize = function "Stdlib" :: rest -> rest | path -> path
+
+let ident_path (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> Some (normalize (flatten_longident txt))
+  | _ -> None
+
+let dotted path = String.concat "." path
+
+(* Calls [f] on every expression of [file]; [rec_depth] counts how many
+   enclosing [let rec] binding groups the expression sits inside (the
+   body of [let rec f = e in body] is depth 0, [e] is depth >= 1). *)
+let scan_exprs file ~f =
+  let depth = ref 0 in
+  let open Ast_iterator in
+  let visit_rec_bindings it vbs =
+    incr depth;
+    List.iter (it.value_binding it) vbs;
+    decr depth
+  in
+  let expr it (e : Parsetree.expression) =
+    f ~rec_depth:!depth e;
+    match e.pexp_desc with
+    | Pexp_let (Recursive, vbs, body) ->
+        visit_rec_bindings it vbs;
+        it.expr it body
+    | _ -> default_iterator.expr it e
+  in
+  let structure_item it (si : Parsetree.structure_item) =
+    match si.pstr_desc with
+    | Pstr_value (Recursive, vbs) -> visit_rec_bindings it vbs
+    | _ -> default_iterator.structure_item it si
+  in
+  let it = { default_iterator with expr; structure_item } in
+  match file with
+  | Structure s -> it.structure it s
+  | Signature s -> it.signature it s
+
+(* Positional (unlabelled) arguments of an application. *)
+let plain_args args =
+  List.filter_map
+    (fun (label, arg) ->
+      match label with Asttypes.Nolabel -> Some arg | _ -> None)
+    args
+
+(* Recognize literal list expressions: [], [x], [x; y], x :: [y] ... *)
+let rec is_literal_list (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_construct ({ txt = Lident "[]"; _ }, None) -> true
+  | Pexp_construct ({ txt = Lident "::"; _ }, Some { pexp_desc = Pexp_tuple [ _; tl ]; _ })
+    ->
+      is_literal_list tl
+  | _ -> false

@@ -1,0 +1,28 @@
+(** Shared Parsetree-walking helpers for lint rules. *)
+
+type file =
+  | Structure of Parsetree.structure
+  | Signature of Parsetree.signature
+
+val flatten_longident : Longident.t -> string list
+
+val normalize : string list -> string list
+(** Strips a leading ["Stdlib"] component so [Stdlib.Random.int] and
+    [Random.int] match the same rules. *)
+
+val ident_path : Parsetree.expression -> string list option
+(** The normalized dotted path of an identifier expression, if any. *)
+
+val dotted : string list -> string
+
+val scan_exprs :
+  file -> f:(rec_depth:int -> Parsetree.expression -> unit) -> unit
+(** Calls [f] on every expression; [rec_depth] is the number of
+    enclosing [let rec] binding groups (0 = not inside any). *)
+
+val plain_args :
+  (Asttypes.arg_label * Parsetree.expression) list -> Parsetree.expression list
+(** Positional (unlabelled) arguments of an application. *)
+
+val is_literal_list : Parsetree.expression -> bool
+(** True for syntactic list literals: [[]], [[x]], [[x; y]], ... *)

@@ -1,0 +1,122 @@
+(* Parse, walk, filter: the lint driver. *)
+
+type result = {
+  findings : Finding.t list;  (* sorted, suppressions already removed *)
+  files_scanned : int;
+  suppressions_used : int;
+  parse_failed : bool;
+}
+
+let empty =
+  {
+    findings = [];
+    files_scanned = 0;
+    suppressions_used = 0;
+    parse_failed = false;
+  }
+
+let parse_error_rule = "parse-error"
+
+let parse ~path source =
+  let lexbuf = Lexing.from_string source in
+  Location.init lexbuf path;
+  try
+    if Filename.check_suffix path ".mli" then
+      Ok (Ast_scan.Signature (Parse.interface lexbuf))
+    else Ok (Ast_scan.Structure (Parse.implementation lexbuf))
+  with exn -> (
+    match Location.error_of_exn exn with
+    | Some (`Ok report) ->
+        let main = report.Location.main in
+        Error
+          (Finding.of_location ~rule:parse_error_rule ~severity:Finding.Error
+             ~message:(Format.asprintf "%t" main.Location.txt)
+             main.Location.loc)
+    | Some `Already_displayed | None ->
+        Error
+          (Finding.make ~rule:parse_error_rule ~severity:Finding.Error
+             ~file:path ~line:1 ~col:0
+             ~message:(Printexc.to_string exn)))
+
+let unused_suppression_rule = "unused-suppression"
+
+let lint_source ?(rules = Rules.all) ~path source =
+  match parse ~path source with
+  | Error f ->
+      { empty with findings = [ f ]; files_scanned = 1; parse_failed = true }
+  | Ok file ->
+      let supp = Suppress.scan source in
+      let raw =
+        List.concat_map
+          (fun rule ->
+            if Rules.applies rule path then rule.Rules.check ~path file
+            else [])
+          rules
+      in
+      let kept =
+        List.filter
+          (fun f ->
+            not
+              (Suppress.suppressed supp ~rule:f.Finding.rule
+                 ~line:f.Finding.line))
+          raw
+      in
+      (* a suppression that matches nothing is stale and must go: it
+         would silently mask a future regression at that line *)
+      let stale =
+        List.map
+          (fun (line, rules) ->
+            Finding.make ~rule:unused_suppression_rule
+              ~severity:Finding.Warning ~file:path ~line ~col:0
+              ~message:
+                (Printf.sprintf
+                   "suppression for %s matches no finding; delete it"
+                   (match rules with
+                   | [] -> "all rules"
+                   | rs -> String.concat ", " rs)))
+          (Suppress.unused supp)
+      in
+      {
+        findings = List.sort Finding.compare (kept @ stale);
+        files_scanned = 1;
+        suppressions_used = Suppress.count supp - List.length stale;
+        parse_failed = false;
+      }
+
+let merge a b =
+  {
+    findings = List.merge Finding.compare a.findings b.findings;
+    files_scanned = a.files_scanned + b.files_scanned;
+    suppressions_used = a.suppressions_used + b.suppressions_used;
+    parse_failed = a.parse_failed || b.parse_failed;
+  }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_file ?rules path = lint_source ?rules ~path (read_file path)
+
+let is_source path =
+  Filename.check_suffix path ".ml" || Filename.check_suffix path ".mli"
+
+let rec discover_path acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' || entry = "_build" then acc
+        else discover_path acc (Filename.concat path entry))
+      acc (Sys.readdir path)
+  else if is_source path then path :: acc
+  else acc
+
+let discover paths =
+  List.sort_uniq String.compare
+    (List.fold_left discover_path [] paths)
+
+let lint_paths ?rules paths =
+  List.fold_left
+    (fun acc path -> merge acc (lint_file ?rules path))
+    empty (discover paths)

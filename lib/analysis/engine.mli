@@ -1,0 +1,33 @@
+(** The lint driver: parse sources with compiler-libs, run the rule
+    catalog, apply suppressions. *)
+
+type result = {
+  findings : Finding.t list;
+      (** sorted by location; suppressed findings removed *)
+  files_scanned : int;
+  suppressions_used : int;
+  parse_failed : bool;  (** at least one file failed to parse *)
+}
+
+val empty : result
+
+val parse_error_rule : string
+(** Rule id used for findings describing files that fail to parse. *)
+
+val unused_suppression_rule : string
+(** Rule id used for stale suppression comments that match nothing. *)
+
+val lint_source : ?rules:Rules.t list -> path:string -> string -> result
+(** Lint in-memory source text.  [path] selects which rules apply
+    (only/allow path lists) and whether to parse as .ml or .mli. *)
+
+val lint_file : ?rules:Rules.t list -> string -> result
+
+val discover : string list -> string list
+(** Expand files/directories into a sorted list of .ml/.mli files,
+    skipping [_build] and dot-directories. *)
+
+val lint_paths : ?rules:Rules.t list -> string list -> result
+(** [discover] then lint every file, merging results. *)
+
+val merge : result -> result -> result

@@ -1,0 +1,42 @@
+type severity =
+  | Error
+  | Warning
+
+type t = {
+  rule : string;
+  severity : severity;
+  file : string;
+  line : int;
+  col : int;
+  message : string;
+}
+
+let severity_label = function Error -> "error" | Warning -> "warning"
+
+let make ~rule ~severity ~file ~line ~col ~message =
+  { rule; severity; file; line; col; message }
+
+let of_location ~rule ~severity ~message (loc : Location.t) =
+  let p = loc.loc_start in
+  {
+    rule;
+    severity;
+    file = p.pos_fname;
+    line = p.pos_lnum;
+    col = p.pos_cnum - p.pos_bol;
+    message;
+  }
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp ppf t =
+  Format.fprintf ppf "%s:%d:%d: %s [%s] %s" t.file t.line t.col
+    (severity_label t.severity) t.rule t.message

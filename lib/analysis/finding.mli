@@ -1,0 +1,34 @@
+(** A single lint finding: a rule violation anchored to a source location. *)
+
+type severity =
+  | Error  (** breaks a hard invariant (determinism, robustness) *)
+  | Warning  (** complexity or hygiene concern; still fails CI *)
+
+type t = {
+  rule : string;  (** rule id, e.g. ["no-stdlib-random"] *)
+  severity : severity;
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, as reported by the compiler *)
+  message : string;
+}
+
+val severity_label : severity -> string
+
+val make :
+  rule:string ->
+  severity:severity ->
+  file:string ->
+  line:int ->
+  col:int ->
+  message:string ->
+  t
+
+val of_location :
+  rule:string -> severity:severity -> message:string -> Location.t -> t
+
+val compare : t -> t -> int
+(** Orders by (file, line, col, rule). *)
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: severity [rule] message] — editor-friendly. *)

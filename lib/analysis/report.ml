@@ -1,0 +1,78 @@
+let count sev findings =
+  List.length (List.filter (fun f -> f.Finding.severity = sev) findings)
+
+let human ppf (r : Engine.result) =
+  List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) r.findings;
+  let errors = count Finding.Error r.findings in
+  let warnings = count Finding.Warning r.findings in
+  Format.fprintf ppf "%d file%s scanned: %d error%s, %d warning%s"
+    r.files_scanned
+    (if r.files_scanned = 1 then "" else "s")
+    errors
+    (if errors = 1 then "" else "s")
+    warnings
+    (if warnings = 1 then "" else "s");
+  if r.suppressions_used > 0 then
+    Format.fprintf ppf " (%d finding%s suppressed inline)" r.suppressions_used
+      (if r.suppressions_used = 1 then "" else "s");
+  Format.fprintf ppf "@."
+
+(* ----- JSON ----- *)
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  json_escape buf s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let json_finding ppf (f : Finding.t) =
+  Format.fprintf ppf
+    "{\"file\":%s,\"line\":%d,\"col\":%d,\"rule\":%s,\"severity\":%s,\"message\":%s}"
+    (json_string f.file) f.line f.col (json_string f.rule)
+    (json_string (Finding.severity_label f.severity))
+    (json_string f.message)
+
+let json ppf (r : Engine.result) =
+  Format.fprintf ppf "{@[<v 1>@,\"files_scanned\": %d,@,\"errors\": %d,@,"
+    r.files_scanned
+    (count Finding.Error r.findings);
+  Format.fprintf ppf "\"warnings\": %d,@,\"suppressions_used\": %d,@,"
+    (count Finding.Warning r.findings)
+    r.suppressions_used;
+  Format.fprintf ppf "\"parse_failed\": %b,@,\"findings\": [@[<v 1>"
+    r.parse_failed;
+  List.iteri
+    (fun i f ->
+      if i > 0 then Format.fprintf ppf ",";
+      Format.fprintf ppf "@,%a" json_finding f)
+    r.findings;
+  Format.fprintf ppf "@]@,]@]@,}@."
+
+let rule_catalog ppf () =
+  List.iter
+    (fun (r : Rules.t) ->
+      Format.fprintf ppf "%-34s %-7s %s@." r.id
+        (Finding.severity_label r.severity)
+        r.doc;
+      if r.only_paths <> [] then
+        Format.fprintf ppf "%-34s         only: %s@." ""
+          (String.concat ", " r.only_paths);
+      if r.allow_paths <> [] then
+        Format.fprintf ppf "%-34s         exempt: %s@." ""
+          (String.concat ", " r.allow_paths))
+    Rules.all

@@ -1,0 +1,16 @@
+(** Reporters for lint results. *)
+
+val human : Format.formatter -> Engine.result -> unit
+(** One [file:line:col: severity [rule] message] line per finding, then
+    a summary line. *)
+
+val json : Format.formatter -> Engine.result -> unit
+(** Machine-readable report:
+    [{"files_scanned":., "errors":., "warnings":., "suppressions_used":.,
+      "parse_failed":., "findings":[{file,line,col,rule,severity,message}]}] *)
+
+val json_string : string -> string
+(** JSON-quote and escape a string. *)
+
+val rule_catalog : Format.formatter -> unit -> unit
+(** Human-readable listing of every rule with severity, doc and scope. *)

@@ -1,0 +1,360 @@
+(* The rule catalog.
+
+   Each rule matches syntactic patterns on the Parsetree; no typing
+   information is available, so matching is by (Stdlib-normalized)
+   identifier path.  That makes the rules conservative-by-name: a local
+   module shadowing [Hashtbl] would still be flagged, and a locally
+   opened [Random] escapes notice — acceptable for a codebase-internal
+   invariant checker, and each rule documents its intent. *)
+
+type t = {
+  id : string;
+  severity : Finding.severity;
+  doc : string;
+  only_paths : string list;
+      (* non-empty: rule applies only to files whose (/-normalized)
+         path contains one of these fragments *)
+  allow_paths : string list;
+      (* files whose path contains one of these fragments are exempt *)
+  check : path:string -> Ast_scan.file -> Finding.t list;
+}
+
+let normalize_path path =
+  String.map (fun c -> if c = '\\' then '/' else c) path
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let applies rule path =
+  let path = normalize_path path in
+  (rule.only_paths = []
+  || List.exists (fun frag -> contains ~sub:frag path) rule.only_paths)
+  && not (List.exists (fun frag -> contains ~sub:frag path) rule.allow_paths)
+
+(* ----- generic helpers ----- *)
+
+let finding rule (e : Parsetree.expression) message =
+  Finding.of_location ~rule:rule.id ~severity:rule.severity ~message
+    e.pexp_loc
+
+(* A rule that flags uses of identifiers from a banned set. *)
+let banned_idents ~id ~severity ~doc ?(only_paths = []) ?(allow_paths = [])
+    ~message idents =
+  let rec rule =
+    {
+      id;
+      severity;
+      doc;
+      only_paths;
+      allow_paths;
+      check =
+        (fun ~path:_ file ->
+          let acc = ref [] in
+          Ast_scan.scan_exprs file ~f:(fun ~rec_depth:_ e ->
+              match Ast_scan.ident_path e with
+              | Some p when List.mem (Ast_scan.dotted p) idents ->
+                  acc := finding rule e (message (Ast_scan.dotted p)) :: !acc
+              | _ -> ());
+          !acc);
+    }
+  in
+  rule
+
+(* ----- determinism rules ----- *)
+
+let no_stdlib_random =
+  let rec rule =
+    {
+      id = "no-stdlib-random";
+      severity = Finding.Error;
+      doc =
+        "Stdlib.Random draws from ambient global state and breaks seeded \
+         bit-for-bit reproducibility; use Bwc_stats.Rng (threaded \
+         explicitly) instead.";
+      only_paths = [];
+      allow_paths = [ "lib/stats/rng.ml" ];
+      check =
+        (fun ~path:_ file ->
+          let acc = ref [] in
+          Ast_scan.scan_exprs file ~f:(fun ~rec_depth:_ e ->
+              match Ast_scan.ident_path e with
+              | Some ("Random" :: _ :: _) ->
+                  acc :=
+                    finding rule e
+                      "Stdlib.Random breaks seeded determinism; thread a \
+                       Bwc_stats.Rng.t instead"
+                    :: !acc
+              | _ -> ());
+          !acc);
+    }
+  in
+  rule
+
+let no_unordered_hashtbl_iter =
+  banned_idents ~id:"no-unordered-hashtbl-iter" ~severity:Finding.Error
+    ~doc:
+      "Hashtbl.iter/fold/filter_map_inplace visit bindings in bucket order, \
+       which can leak hash-layout nondeterminism into protocol state, \
+       counters or output; traverse in sorted key order \
+       (Bwc_stats.Tbl.iter_sorted/fold_sorted) or suppress with a proof of \
+       order-independence."
+    ~message:(fun ident ->
+      ident
+      ^ " visits bindings in nondeterministic bucket order; use \
+         Bwc_stats.Tbl sorted traversal, or suppress with a justification \
+         if the body is order-independent")
+    [
+      "Hashtbl.iter";
+      "Hashtbl.fold";
+      "Hashtbl.filter_map_inplace";
+      "MoreLabels.Hashtbl.iter";
+      "MoreLabels.Hashtbl.fold";
+    ]
+
+let float_comparators = [ "="; "<>"; "compare" ]
+
+let no_polymorphic_compare_on_floats =
+  let rec rule =
+    {
+      id = "no-polymorphic-compare-on-floats";
+      severity = Finding.Error;
+      doc =
+        "Polymorphic =/<>/compare on floats has surprising NaN behavior and \
+         invites exact-equality bugs; use Float.equal, Float.compare or an \
+         epsilon helper.";
+      only_paths = [];
+      allow_paths = [];
+      check =
+        (fun ~path:_ file ->
+          let is_floaty (e : Parsetree.expression) =
+            match e.pexp_desc with
+            | Pexp_constant (Pconst_float _) -> true
+            | Pexp_ident { txt; _ } -> (
+                match Ast_scan.normalize (Ast_scan.flatten_longident txt) with
+                | "Float" :: _ :: _ -> true
+                | _ -> false)
+            | Pexp_apply (fn, _) -> (
+                match Ast_scan.ident_path fn with
+                | Some ("Float" :: _ :: _) -> true
+                | _ -> false)
+            | _ -> false
+          in
+          let acc = ref [] in
+          Ast_scan.scan_exprs file ~f:(fun ~rec_depth:_ e ->
+              match e.pexp_desc with
+              | Pexp_apply (fn, args) -> (
+                  match Ast_scan.ident_path fn with
+                  | Some [ op ] when List.mem op float_comparators ->
+                      let plain = Ast_scan.plain_args args in
+                      if List.length plain >= 2 && List.exists is_floaty plain
+                      then
+                        acc :=
+                          finding rule e
+                            (Printf.sprintf
+                               "polymorphic %s on float operands; use \
+                                Float.equal/Float.compare or an epsilon \
+                                helper"
+                               op)
+                          :: !acc
+                  | _ -> ())
+              | _ -> ());
+          !acc);
+    }
+  in
+  rule
+
+(* ----- robustness rules ----- *)
+
+let no_partial_stdlib =
+  banned_idents ~id:"no-partial-stdlib" ~severity:Finding.Error
+    ~doc:
+      "List.hd/List.tl/List.nth/Option.get raise on the empty case; in \
+       protocol hot paths (lib/core, lib/sim) a malformed message or empty \
+       neighbor set must degrade, not crash — pattern-match or use _opt \
+       accessors."
+    ~only_paths:[ "lib/core/"; "lib/sim/" ]
+    ~message:(fun ident ->
+      ident
+      ^ " raises on the empty case; pattern-match or use an _opt accessor \
+         so faults degrade instead of crashing")
+    [ "List.hd"; "List.tl"; "List.nth"; "Option.get" ]
+
+let naked_failwith =
+  let rec rule =
+    {
+      id = "naked-failwith";
+      severity = Finding.Warning;
+      doc =
+        "failwith messages must carry a \"Module.fn: \" prefix so failures \
+         are greppable and attributable; prefer invalid_arg for caller \
+         errors.";
+      only_paths = [];
+      allow_paths = [];
+      check =
+        (fun ~path:_ file ->
+          let prefixed s =
+            (* "Module.fn: ..." — uppercase start, a '.' before the first
+               ':', and a ':' present at all *)
+            match String.index_opt s ':' with
+            | None -> false
+            | Some i ->
+                i > 0
+                && s.[0] >= 'A'
+                && s.[0] <= 'Z'
+                && String.contains (String.sub s 0 i) '.'
+          in
+          let rec literal_of (e : Parsetree.expression) =
+            match e.pexp_desc with
+            | Pexp_constant (Pconst_string (s, _, _)) -> Some s
+            | Pexp_apply (fn, args) -> (
+                (* Printf.sprintf "fmt" ... — check the format literal *)
+                match (Ast_scan.ident_path fn, Ast_scan.plain_args args) with
+                | Some [ ("Printf" | "Format"); "sprintf" ], fmt :: _ ->
+                    literal_of fmt
+                | _ -> None)
+            | _ -> None
+          in
+          let acc = ref [] in
+          Ast_scan.scan_exprs file ~f:(fun ~rec_depth:_ e ->
+              match e.pexp_desc with
+              | Pexp_apply (fn, args) when Ast_scan.ident_path fn = Some [ "failwith" ]
+                -> (
+                  match Ast_scan.plain_args args with
+                  | arg :: _ -> (
+                      match literal_of arg with
+                      | Some s when prefixed s -> ()
+                      | Some _ ->
+                          acc :=
+                            finding rule e
+                              "failwith message lacks a \"Module.fn: \" \
+                               prefix"
+                            :: !acc
+                      | None ->
+                          acc :=
+                            finding rule e
+                              "failwith with a dynamic message; start it \
+                               with a \"Module.fn: \" literal prefix"
+                            :: !acc)
+                  | [] -> ())
+              | _ -> ());
+          !acc);
+    }
+  in
+  rule
+
+let no_obj_magic =
+  let rec rule =
+    {
+      id = "no-obj-magic";
+      severity = Finding.Error;
+      doc = "Obj.* defeats the type system; there is no sound use here.";
+      only_paths = [];
+      allow_paths = [];
+      check =
+        (fun ~path:_ file ->
+          let acc = ref [] in
+          Ast_scan.scan_exprs file ~f:(fun ~rec_depth:_ e ->
+              match Ast_scan.ident_path e with
+              | Some ("Obj" :: _ :: _) ->
+                  acc := finding rule e "Obj.* defeats the type system" :: !acc
+              | _ -> ());
+          !acc);
+    }
+  in
+  rule
+
+(* ----- complexity rules ----- *)
+
+let append_idents fn =
+  match Ast_scan.ident_path fn with
+  | Some [ "@" ] | Some [ "List"; "append" ] -> true
+  | _ -> false
+
+let no_quadratic_append =
+  let rec rule =
+    {
+      id = "no-quadratic-append";
+      severity = Finding.Warning;
+      doc =
+        "`acc @ [x]` copies the accumulator on every step (O(n^2) overall, \
+         the Churn.scripted bug class); build lists with :: and reverse \
+         once.  Any @ inside a let rec is flagged as potential recursive \
+         accumulation — use List.rev_append or restructure, or suppress \
+         with a cost argument.";
+      only_paths = [];
+      allow_paths = [];
+      check =
+        (fun ~path:_ file ->
+          let acc = ref [] in
+          Ast_scan.scan_exprs file ~f:(fun ~rec_depth e ->
+              match e.pexp_desc with
+              | Pexp_apply (fn, args) when append_idents fn -> (
+                  match Ast_scan.plain_args args with
+                  | [ _; rhs ] when Ast_scan.is_literal_list rhs ->
+                      acc :=
+                        finding rule e
+                          "appending a literal list copies the left operand \
+                           each time (O(n^2) when repeated); build with :: \
+                           and List.rev once"
+                        :: !acc
+                  | _ :: _ when rec_depth > 0 ->
+                      acc :=
+                        finding rule e
+                          "@ inside a recursive function is quadratic when \
+                           the left operand grows with recursion; use \
+                           List.rev_append/restructure or suppress with a \
+                           cost argument"
+                        :: !acc
+                  | _ -> ())
+              | _ -> ());
+          !acc);
+    }
+  in
+  rule
+
+(* ----- hygiene rules ----- *)
+
+let no_print_in_lib =
+  banned_idents ~id:"no-print-in-lib" ~severity:Finding.Error
+    ~doc:
+      "Libraries must not write to std streams or call exit; return values, \
+       take a Format.formatter parameter, or use Logs.  \
+       lib/experiments/report.ml is the audited console-reporting module \
+       and is exempt."
+    ~only_paths:[ "lib/" ]
+    ~allow_paths:[ "lib/experiments/report.ml" ]
+    ~message:(fun ident ->
+      ident
+      ^ " in library code; return values, take a formatter parameter, or \
+         use Logs")
+    [
+      "print_endline";
+      "print_string";
+      "print_newline";
+      "print_int";
+      "print_float";
+      "prerr_endline";
+      "prerr_string";
+      "prerr_newline";
+      "Printf.printf";
+      "Printf.eprintf";
+      "Format.printf";
+      "Format.eprintf";
+      "exit";
+    ]
+
+let all =
+  [
+    no_stdlib_random;
+    no_unordered_hashtbl_iter;
+    no_polymorphic_compare_on_floats;
+    no_partial_stdlib;
+    no_quadratic_append;
+    no_print_in_lib;
+    naked_failwith;
+    no_obj_magic;
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) all

@@ -1,0 +1,33 @@
+(** The lint rule catalog.
+
+    Rules match syntactic patterns on the untyped Parsetree by
+    (Stdlib-normalized) identifier path.  Severity [Error] marks hard
+    invariant breaks (determinism, robustness), [Warning] marks
+    complexity/hygiene concerns; both fail the lint run. *)
+
+type t = {
+  id : string;
+  severity : Finding.severity;
+  doc : string;
+  only_paths : string list;
+      (** non-empty: rule applies only to files whose path contains one
+          of these fragments *)
+  allow_paths : string list;
+      (** files whose path contains one of these fragments are exempt *)
+  check : path:string -> Ast_scan.file -> Finding.t list;
+}
+
+val applies : t -> string -> bool
+(** Whether the rule runs on the given file path (only/allow lists). *)
+
+val no_stdlib_random : t
+val no_unordered_hashtbl_iter : t
+val no_polymorphic_compare_on_floats : t
+val no_partial_stdlib : t
+val no_quadratic_append : t
+val no_print_in_lib : t
+val naked_failwith : t
+val no_obj_magic : t
+
+val all : t list
+val find : string -> t option

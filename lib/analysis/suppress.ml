@@ -1,0 +1,102 @@
+(* Per-line suppression comments:
+
+     (* bwclint: allow <rule> *)
+     (* bwclint: allow <rule-a>, <rule-b> *)
+
+   The word "all" instead of a rule list suppresses every rule.  A
+   suppression applies to findings on its own line and on the line
+   directly below it, so both trailing comments and a standalone
+   comment above the offending expression work. *)
+
+type entry = {
+  s_line : int;  (* line the comment appears on, 1-based *)
+  rules : string list;  (* [] means all rules *)
+  mutable used : bool;
+}
+
+type t = { entries : entry list }
+
+let marker = "bwclint:"
+
+let is_rule_char c =
+  (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c = '-'
+
+(* Parse " allow rule-a, rule-b *)..." starting just after [marker];
+   returns the listed rule ids ([] for "all"), or None if the text
+   after the marker is not an allow clause. *)
+let parse_clause text =
+  let n = String.length text in
+  let rec skip_ws i = if i < n && (text.[i] = ' ' || text.[i] = '\t') then skip_ws (i + 1) else i in
+  let i = skip_ws 0 in
+  if i + 5 > n || String.sub text i 5 <> "allow" then None
+  else begin
+    let rec words i acc =
+      let i = skip_ws i in
+      if i >= n || not (is_rule_char text.[i]) then List.rev acc
+      else begin
+        let j = ref i in
+        while !j < n && is_rule_char text.[!j] do incr j done;
+        let word = String.sub text i (!j - i) in
+        let k = skip_ws !j in
+        let k = if k < n && text.[k] = ',' then k + 1 else k in
+        words k (word :: acc)
+      end
+    in
+    match words (i + 5) [] with
+    | [] -> None
+    | [ "all" ] -> Some []
+    | rules -> Some rules
+  end
+
+let scan_line ~line_no line acc =
+  let rec from start acc =
+    match
+      (* find the next occurrence of [marker] *)
+      let n = String.length line and m = String.length marker in
+      let rec search i =
+        if i + m > n then None
+        else if String.sub line i m = marker then Some i
+        else search (i + 1)
+      in
+      search start
+    with
+    | None -> acc
+    | Some i ->
+        let rest = String.sub line (i + String.length marker)
+            (String.length line - i - String.length marker)
+        in
+        let acc =
+          match parse_clause rest with
+          | Some rules -> { s_line = line_no; rules; used = false } :: acc
+          | None -> acc
+        in
+        from (i + String.length marker) acc
+  in
+  from 0 acc
+
+let scan source =
+  let entries = ref [] in
+  let line_no = ref 0 in
+  String.split_on_char '\n' source
+  |> List.iter (fun line ->
+         incr line_no;
+         entries := scan_line ~line_no:!line_no line !entries);
+  { entries = List.rev !entries }
+
+let suppressed t ~rule ~line =
+  let matching e =
+    (e.s_line = line || e.s_line = line - 1)
+    && (e.rules = [] || List.mem rule e.rules)
+  in
+  match List.find_opt matching t.entries with
+  | Some e ->
+      e.used <- true;
+      true
+  | None -> false
+
+let count t = List.length t.entries
+
+let unused t =
+  List.filter_map
+    (fun e -> if e.used then None else Some (e.s_line, e.rules))
+    t.entries

@@ -1,0 +1,21 @@
+(** Per-line lint suppressions.
+
+    A comment [(* bwclint: allow <rule> *)] (comma-separated rule ids,
+    or [all]) suppresses matching findings on its own line and on the
+    line directly below, so both trailing comments and a standalone
+    comment above the offending expression work. *)
+
+type t
+
+val scan : string -> t
+(** Collect suppression comments from raw source text. *)
+
+val suppressed : t -> rule:string -> line:int -> bool
+(** Whether a finding of [rule] at [line] is suppressed.  Marks the
+    matching suppression as used. *)
+
+val count : t -> int
+
+val unused : t -> (int * string list) list
+(** Suppressions that never matched a finding (line, rule ids) — stale
+    comments that should be deleted. *)

@@ -28,13 +28,14 @@ let search ~adj ~k ~budget ~worth ~on_better p0 =
           (* pivot: candidate with most neighbors in p prunes best *)
           let pivot =
             let best = ref None in
-            List.iter
-              (fun u ->
-                let deg = List.length (List.filter (adj u) p) in
-                match !best with
-                | Some (_, d) when d >= deg -> ()
-                | _ -> best := Some (u, deg))
-              (p @ x);
+            let consider u =
+              let deg = List.length (List.filter (adj u) p) in
+              match !best with
+              | Some (_, d) when d >= deg -> ()
+              | _ -> best := Some (u, deg)
+            in
+            List.iter consider p;
+            List.iter consider x;
             !best
           in
           let expand =

@@ -28,8 +28,8 @@ type out_entry = {
 
 type node = {
   id : int;
-  mutable info : Node_info.t;
-  mutable neighbors : Node_info.t list;
+  info : Node_info.t;
+  neighbors : Node_info.t list;
   aggr_node : (int, Node_info.t list) Hashtbl.t;    (* neighbor -> received propNode *)
   aggr_crt : (int, int array) Hashtbl.t;            (* neighbor -> received propCRT *)
   mutable own_row : int array;                      (* aggrCRT[self] *)
@@ -221,7 +221,10 @@ let send_updates t node =
    the aggregation survives message loss and crash windows. *)
 let resend_pending t node =
   let now = Engine.round t.engine in
-  Hashtbl.iter
+  (* sorted traversal: the send order decides in-flight FIFO order within
+     a delivery round, so bucket order here would leak hash-layout
+     nondeterminism into the protocol fixed point *)
+  Bwc_stats.Tbl.iter_sorted
     (fun h entry ->
       if (not entry.acked) && now - entry.sent_round >= t.resend_timeout then begin
         entry.sent_round <- now;

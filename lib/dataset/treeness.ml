@@ -18,7 +18,7 @@ let sweep ~rng ?(sigmas = default_sigmas) ?epsilon_samples ~n () =
   List.map
     (fun sigma ->
       let dataset =
-        if sigma = 0.0 then base
+        if Float.equal sigma 0.0 then base
         else
           Noise.multiplicative ~rng:(Rng.split rng) ~sigma
             ~name:(Printf.sprintf "treeness-sigma%.2f" sigma)

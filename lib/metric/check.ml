@@ -53,7 +53,7 @@ let verify ?(tol = 1e-9) ?(max_triples = 200_000) ~rng space =
   }
 
 let is_metric r =
-  r.non_negative && r.zero_diagonal && r.symmetric && r.triangle_violations = 0.0
+  r.non_negative && r.zero_diagonal && r.symmetric && Float.equal r.triangle_violations 0.0
 
 let pp ppf r =
   Format.fprintf ppf

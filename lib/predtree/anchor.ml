@@ -56,12 +56,13 @@ let depth t h =
   let rec up h acc = match parent t h with Some p -> up p (acc + 1) | None -> acc in
   up h 0
 
-let hosts t = Hashtbl.fold (fun h _ acc -> h :: acc) t.kids []
+let hosts t = Bwc_stats.Tbl.sorted_keys t.kids
 
 let max_depth t = List.fold_left (fun acc h -> Stdlib.max acc (depth t h)) 0 (hosts t)
 let max_degree t = List.fold_left (fun acc h -> Stdlib.max acc (degree t h)) 0 (hosts t)
 
-let iter_edges t f = Hashtbl.iter (fun child p -> f p child) t.parents
+let iter_edges t f =
+  Bwc_stats.Tbl.iter_sorted (fun child p -> f p child) t.parents
 
 let pp ppf t =
   match t.root with

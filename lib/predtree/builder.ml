@@ -70,7 +70,7 @@ let select_end ~d ~anchor ~strategy ~x ~z ~candidates =
               List.iter
                 (fun c ->
                   let g = eval c in
-                  if g > !best_g || (!best_g = Float.neg_infinity && g > Float.neg_infinity)
+                  if g > !best_g || (Float.equal !best_g Float.neg_infinity && g > Float.neg_infinity)
                   then begin
                     best_g := g;
                     best_host := c
@@ -78,7 +78,7 @@ let select_end ~d ~anchor ~strategy ~x ~z ~candidates =
                   if g > Float.neg_infinity then push g c)
                 (Anchor.children anchor h)
       done;
-      if !best_g = Float.neg_infinity then invalid_arg "Builder.select_end: no candidate"
+      if Float.equal !best_g Float.neg_infinity then invalid_arg "Builder.select_end: no candidate"
       else (!best_host, !measured)
 
 let add_host ~d ~rng ~base ~strategy ~tree ~anchor ~labels x =

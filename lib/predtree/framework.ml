@@ -15,7 +15,10 @@ type t = {
   mutable tree : Tree.t;
   mutable anchor : Anchor.t;
   labels : (int, Label.t) Hashtbl.t;
-  mutable order : int list; (* insertion order of current members, root first *)
+  (* reverse insertion order (newest member first): joins prepend in
+     O(1) instead of copying the whole list with [@ [h]]; [members]
+     flips it back to root-first order on demand *)
+  mutable rev_order : int list;
   mutable measurements : int;
 }
 
@@ -45,7 +48,7 @@ let build ~rng ?(mode = default_mode) ?members space =
       tree = Tree.create ();
       anchor = Anchor.create ();
       labels = Hashtbl.create space.Space.n;
-      order;
+      rev_order = List.rev order;
       measurements = 0;
     }
   in
@@ -60,14 +63,14 @@ let size t = Hashtbl.length t.labels
 let tree t = t.tree
 let anchor t = t.anchor
 let is_member t h = Hashtbl.mem t.labels h
-let members t = t.order
+let members t = List.rev t.rev_order
 
 let label t h =
   match Hashtbl.find_opt t.labels h with
   | Some l -> l
   | None -> invalid_arg "Framework.label: unknown host"
 
-let insertion_order t = Array.of_list t.order
+let insertion_order t = Array.of_list (members t)
 let predicted t i j = Label.dist (label t i) (label t j)
 
 let predicted_bw ?c t i j =
@@ -77,7 +80,7 @@ let measured t i j = t.space.Space.dist i j
 let measurements_total t = t.measurements
 
 let relative_errors ?c t =
-  let members = Array.of_list t.order in
+  let members = Array.of_list (members t) in
   let m = Array.length members in
   let out = Array.make (Stdlib.max 1 (m * (m - 1) / 2)) 0.0 in
   let pos = ref 0 in
@@ -96,12 +99,12 @@ let rebuild ~rng t =
   t.tree <- Tree.create ();
   Hashtbl.reset t.labels;
   t.anchor <- Anchor.create ();
-  List.iter (insert ~rng t) t.order
+  List.iter (insert ~rng t) (members t)
 
 let add_host ~rng t h =
   check_host t h;
   if is_member t h then invalid_arg "Framework.add_host: already a member";
-  t.order <- t.order @ [ h ];
+  t.rev_order <- h :: t.rev_order;
   insert ~rng t h
 
 (* Splice the leaf out when nothing anchors beneath it; otherwise rebuild
@@ -111,7 +114,7 @@ let remove_host ~rng t h =
   check_host t h;
   if not (is_member t h) then invalid_arg "Framework.remove_host: not a member";
   if size t <= 1 then invalid_arg "Framework.remove_host: cannot empty the framework";
-  t.order <- List.filter (fun x -> x <> h) t.order;
+  t.rev_order <- List.filter (fun x -> x <> h) t.rev_order;
   if Anchor.root t.anchor = h then rebuild ~rng t
   else begin
     match Tree.remove_host t.tree ~host:h with

@@ -5,9 +5,9 @@ type kind =
   | Inner
 
 type edge = {
-  mutable a : vertex;
-  mutable b : vertex;
-  mutable weight : float;
+  a : vertex;
+  b : vertex;
+  weight : float;
   owner : int;
   mutable live : bool;
 }
@@ -79,7 +79,7 @@ let kind t v =
   if v < 0 || v >= t.vcount then invalid_arg "Tree.kind: bad vertex";
   t.kinds.(v)
 
-let hosts t = Hashtbl.fold (fun h _ acc -> h :: acc) t.host_vertex []
+let hosts t = Bwc_stats.Tbl.sorted_keys t.host_vertex
 let vertex_count t = t.vcount
 
 let neighbors t v =
@@ -244,7 +244,8 @@ let is_tree t =
               end)
             t.adj.(v)
         in
-        bfs (next @ rest)
+        (* frontier order is irrelevant here (reachability count only) *)
+        bfs (List.rev_append next rest)
   in
   if t.vcount = 0 then true
   else begin

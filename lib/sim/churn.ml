@@ -13,7 +13,9 @@ let scripted events =
       let cur = match Hashtbl.find_opt by_round round with Some l -> l | None -> [] in
       Hashtbl.replace by_round round (ev :: cur))
     events;
-  (* stored reversed to keep inserts O(1); flip once into schedule order *)
+  (* stored reversed to keep inserts O(1); flip once into schedule order.
+     Order-independent: each bucket is rewritten in isolation. *)
+  (* bwclint: allow no-unordered-hashtbl-iter *)
   Hashtbl.filter_map_inplace (fun _ evs -> Some (List.rev evs)) by_round;
   { by_round }
 
@@ -40,5 +42,7 @@ let events_at t round =
   match Hashtbl.find_opt t.by_round round with Some l -> l | None -> []
 
 let all_events t =
-  let out = Hashtbl.fold (fun r evs acc -> List.map (fun e -> (r, e)) evs @ acc) t.by_round [] in
-  List.stable_sort (fun (a, _) (b, _) -> compare a b) out
+  List.rev
+    (Bwc_stats.Tbl.fold_sorted
+       (fun r evs acc -> List.fold_left (fun acc e -> (r, e) :: acc) acc evs)
+       t.by_round [])

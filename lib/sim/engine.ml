@@ -60,7 +60,10 @@ let set_active t i b =
   check t i;
   t.active.(i) <- b;
   if not b then begin
-    (* drop queued and in-flight traffic to a departed node *)
+    (* drop queued and in-flight traffic to a departed node.
+       Order-independent: each bucket is partitioned in isolation and the
+       counter updates are commutative sums. *)
+    (* bwclint: allow no-unordered-hashtbl-iter *)
     Hashtbl.filter_map_inplace
       (fun _ waiting ->
         let keep, drop = List.partition (fun (dst, _, _) -> dst <> i) waiting in

@@ -41,7 +41,9 @@ let make ~rng ~drop ~duplicate ~jitter ~partitions ~crashes =
       schedule c.down_from (c.node, false);
       if c.up_at < max_int then schedule c.up_at (c.node, true))
     crashes;
-  (* downs before ups within a round, insertion order otherwise *)
+  (* downs before ups within a round, insertion order otherwise.
+     Order-independent: each round's bucket is rewritten in isolation. *)
+  (* bwclint: allow no-unordered-hashtbl-iter *)
   Hashtbl.filter_map_inplace
     (fun _ evs ->
       let evs = List.rev evs in

@@ -1,0 +1,33 @@
+(** Deterministic traversal helpers for [Stdlib.Hashtbl].
+
+    [Hashtbl] iteration order depends on hashing and resize history;
+    these wrappers visit bindings in sorted key order so traversal
+    results are reproducible run-to-run.  The [no-unordered-hashtbl-iter]
+    lint rule (see [bin/bwclint.ml]) directs offending call sites here.
+
+    Only the most-recent binding of each key is visited; [cmp] defaults
+    to [Stdlib.compare]. *)
+
+val keys : ('k, 'v) Hashtbl.t -> 'k list
+(** All keys, in unspecified order (possibly with duplicates when keys
+    were shadowed via [Hashtbl.add]).  Sort before letting the result
+    reach state or output. *)
+
+val sorted_keys : ?cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> 'k list
+(** Distinct keys in ascending [cmp] order. *)
+
+val iter_sorted :
+  ?cmp:('k -> 'k -> int) -> ('k -> 'v -> unit) -> ('k, 'v) Hashtbl.t -> unit
+(** [iter_sorted f t] applies [f] to each binding in ascending key order. *)
+
+val fold_sorted :
+  ?cmp:('k -> 'k -> int) ->
+  ('k -> 'v -> 'acc -> 'acc) ->
+  ('k, 'v) Hashtbl.t ->
+  'acc ->
+  'acc
+(** [fold_sorted f t init] folds over bindings in ascending key order. *)
+
+val sorted_bindings :
+  ?cmp:('k -> 'k -> int) -> ('k, 'v) Hashtbl.t -> ('k * 'v) list
+(** All bindings as a list sorted by key. *)

@@ -1,0 +1,251 @@
+(* Tests for the bwclint engine: one failing fixture per rule, a clean
+   fixture, suppression semantics, path scoping, and the reporters.
+
+   Fixture sources are inline strings.  Suppression comments inside
+   fixtures are assembled with [sup]/[sup_all] rather than written
+   literally: Suppress.scan works on raw source text, so a literal
+   marker inside these string constants would register a (stale)
+   suppression against this very file when bwclint lints the test
+   directory. *)
+
+module Engine = Bwc_analysis.Engine
+module Finding = Bwc_analysis.Finding
+module Report = Bwc_analysis.Report
+module Rules = Bwc_analysis.Rules
+
+let sup rule = Printf.sprintf "(* bwclint%s allow %s *)" ":" rule
+let sup_all () = sup "all"
+
+(* default fixture path sits inside lib/core so every path-scoped rule
+   (no-partial-stdlib, no-print-in-lib) is live *)
+let lint ?(path = "lib/core/fixture.ml") src = Engine.lint_source ~path src
+
+let rule_ids result =
+  List.map (fun f -> f.Finding.rule) result.Engine.findings
+
+let check_single_finding name ?path ~rule src =
+  Alcotest.(check (list string))
+    name [ rule ]
+    (rule_ids (lint ?path src))
+
+(* ----- one failing fixture per rule ----- *)
+
+let test_no_stdlib_random () =
+  check_single_finding "Random.* flagged" ~rule:"no-stdlib-random"
+    "let x = Random.int 5\n";
+  check_single_finding "Stdlib.Random too" ~rule:"no-stdlib-random"
+    "let x = Stdlib.Random.bool ()\n"
+
+let test_no_unordered_hashtbl_iter () =
+  check_single_finding "Hashtbl.iter flagged" ~rule:"no-unordered-hashtbl-iter"
+    "let f t = Hashtbl.iter (fun _ _ -> ()) t\n";
+  check_single_finding "Hashtbl.fold flagged" ~rule:"no-unordered-hashtbl-iter"
+    "let f t = Hashtbl.fold (fun k _ acc -> k :: acc) t []\n"
+
+let test_no_polymorphic_compare_on_floats () =
+  check_single_finding "= with float literal" ~rule:"no-polymorphic-compare-on-floats"
+    "let f x = x = 0.0\n";
+  check_single_finding "compare with Float constant" ~rule:"no-polymorphic-compare-on-floats"
+    "let f x = compare x Float.infinity\n"
+
+let test_no_partial_stdlib () =
+  check_single_finding "List.hd in lib/core" ~rule:"no-partial-stdlib"
+    "let f l = List.hd l\n";
+  check_single_finding "Option.get in lib/sim" ~path:"lib/sim/fixture.ml"
+    ~rule:"no-partial-stdlib" "let f o = Option.get o\n"
+
+let test_no_quadratic_append () =
+  check_single_finding "acc @ [x]" ~rule:"no-quadratic-append"
+    "let f acc x = acc @ [ x ]\n";
+  check_single_finding "@ under let rec" ~rule:"no-quadratic-append"
+    "let rec go acc l = match l with [] -> acc | x :: tl -> go (acc @ tl) tl\n"
+
+let test_no_print_in_lib () =
+  check_single_finding "print_endline in lib" ~rule:"no-print-in-lib"
+    "let f () = print_endline \"hi\"\n";
+  check_single_finding "exit in lib" ~rule:"no-print-in-lib"
+    "let f () = exit 1\n"
+
+let test_naked_failwith () =
+  check_single_finding "unprefixed failwith" ~rule:"naked-failwith"
+    "let f () = failwith \"boom\"\n";
+  Alcotest.(check (list string))
+    "Module.fn prefix accepted" []
+    (rule_ids (lint "let f () = failwith \"Fixture.f: boom\"\n"))
+
+let test_no_obj_magic () =
+  check_single_finding "Obj.magic flagged" ~rule:"no-obj-magic"
+    "let f x = Obj.magic x\n"
+
+(* ----- clean fixture ----- *)
+
+let clean_src =
+  "let eps = 1e-9\n\
+   let close a b = Float.abs (a -. b) < eps\n\
+   let first = function [] -> None | x :: _ -> Some x\n\
+   let rec sum acc = function [] -> acc | x :: tl -> sum (acc + x) tl\n"
+
+let test_clean () =
+  let r = lint clean_src in
+  Alcotest.(check (list string)) "no findings" [] (rule_ids r);
+  Alcotest.(check int) "one file" 1 r.Engine.files_scanned;
+  Alcotest.(check bool) "parsed" false r.Engine.parse_failed
+
+(* ----- suppressions ----- *)
+
+let test_suppression_same_line () =
+  let src =
+    "let f t = Hashtbl.fold (fun k _ acc -> k :: acc) t [] "
+    ^ sup "no-unordered-hashtbl-iter"
+    ^ "\n"
+  in
+  let r = lint src in
+  Alcotest.(check (list string)) "suppressed" [] (rule_ids r);
+  Alcotest.(check int) "counted" 1 r.Engine.suppressions_used
+
+let test_suppression_line_above () =
+  let src =
+    sup "no-partial-stdlib" ^ "\nlet f l = List.hd l\n"
+  in
+  Alcotest.(check (list string)) "suppressed" [] (rule_ids (lint src))
+
+let test_suppression_wrong_rule () =
+  (* a suppression for a different rule must not mask the finding, and
+     is itself reported as stale *)
+  let src = "let f l = List.hd l " ^ sup "no-stdlib-random" ^ "\n" in
+  Alcotest.(check (list string))
+    "finding kept, stale suppression reported"
+    [ "no-partial-stdlib"; "unused-suppression" ]
+    (List.sort String.compare (rule_ids (lint src)))
+
+let test_suppression_all () =
+  let src = "let f l = List.hd (Obj.magic l) " ^ sup_all () ^ "\n" in
+  Alcotest.(check (list string)) "allow all suppresses both" []
+    (rule_ids (lint src))
+
+let test_unused_suppression_reported () =
+  let src = "let f x = x + 1 " ^ sup "no-stdlib-random" ^ "\n" in
+  match (lint src).Engine.findings with
+  | [ f ] ->
+      Alcotest.(check string) "rule" Engine.unused_suppression_rule f.Finding.rule;
+      Alcotest.(check int) "line" 1 f.Finding.line
+  | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
+
+(* ----- path scoping ----- *)
+
+let test_rule_path_scoping () =
+  (* partial accessors are only banned inside lib/core and lib/sim *)
+  Alcotest.(check (list string))
+    "List.hd fine outside protocol paths" []
+    (rule_ids (lint ~path:"lib/experiments/fixture.ml" "let f l = List.hd l\n"));
+  (* the seeded-rng module is the one place allowed to talk about Random *)
+  Alcotest.(check (list string))
+    "rng.ml exempt from no-stdlib-random" []
+    (rule_ids (lint ~path:"lib/stats/rng.ml" "let x = Random.int 5\n"));
+  (* print is only banned under lib/ *)
+  Alcotest.(check (list string))
+    "print fine in bin" []
+    (rule_ids (lint ~path:"bin/fixture.ml" "let f () = print_endline \"x\"\n"))
+
+let test_mli_parsing () =
+  let r = lint ~path:"lib/core/fixture.mli" "val f : int -> int\n" in
+  Alcotest.(check (list string)) "clean mli" [] (rule_ids r);
+  Alcotest.(check bool) "parsed" false r.Engine.parse_failed
+
+(* ----- parse failure ----- *)
+
+let test_parse_error () =
+  let r = lint "let let let\n" in
+  Alcotest.(check bool) "parse_failed" true r.Engine.parse_failed;
+  match r.Engine.findings with
+  | [ f ] -> Alcotest.(check string) "rule" Engine.parse_error_rule f.Finding.rule
+  | _ -> Alcotest.fail "expected exactly one parse-error finding"
+
+(* ----- reporters ----- *)
+
+let test_json_report () =
+  let r = lint "let x = Random.int 5\n" in
+  let out = Format.asprintf "%a" Report.json r in
+  let has sub =
+    let n = String.length out and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub out i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "rule field" true (has "\"rule\":\"no-stdlib-random\"");
+  Alcotest.(check bool) "severity field" true (has "\"severity\":\"error\"");
+  Alcotest.(check bool) "file field" true (has "\"file\":\"lib/core/fixture.ml\"");
+  Alcotest.(check bool) "errors count" true (has "\"errors\": 1")
+
+let test_json_escaping () =
+  Alcotest.(check string)
+    "quotes and newlines escaped" "\"a\\\"b\\nc\\\\d\""
+    (Report.json_string "a\"b\nc\\d")
+
+let test_human_report () =
+  let r = lint "let f acc x = acc @ [ x ]\n" in
+  let out = Format.asprintf "%a" Report.human r in
+  let has sub =
+    let n = String.length out and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub out i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "location prefix" true (has "lib/core/fixture.ml:1:");
+  Alcotest.(check bool) "summary line" true (has "1 file scanned: 0 errors, 1 warning")
+
+let test_rule_catalog_complete () =
+  (* every rule the acceptance criteria names exists in the registry *)
+  List.iter
+    (fun id ->
+      match Rules.find id with
+      | Some _ -> ()
+      | None -> Alcotest.failf "rule %s missing from catalog" id)
+    [
+      "no-stdlib-random";
+      "no-unordered-hashtbl-iter";
+      "no-polymorphic-compare-on-floats";
+      "no-partial-stdlib";
+      "no-quadratic-append";
+      "no-print-in-lib";
+      "naked-failwith";
+      "no-obj-magic";
+    ]
+
+let () =
+  Alcotest.run "bwc_analysis"
+    [
+      ( "rules",
+        [
+          Alcotest.test_case "no-stdlib-random" `Quick test_no_stdlib_random;
+          Alcotest.test_case "no-unordered-hashtbl-iter" `Quick
+            test_no_unordered_hashtbl_iter;
+          Alcotest.test_case "no-polymorphic-compare-on-floats" `Quick
+            test_no_polymorphic_compare_on_floats;
+          Alcotest.test_case "no-partial-stdlib" `Quick test_no_partial_stdlib;
+          Alcotest.test_case "no-quadratic-append" `Quick test_no_quadratic_append;
+          Alcotest.test_case "no-print-in-lib" `Quick test_no_print_in_lib;
+          Alcotest.test_case "naked-failwith" `Quick test_naked_failwith;
+          Alcotest.test_case "no-obj-magic" `Quick test_no_obj_magic;
+          Alcotest.test_case "clean fixture" `Quick test_clean;
+          Alcotest.test_case "catalog complete" `Quick test_rule_catalog_complete;
+        ] );
+      ( "suppressions",
+        [
+          Alcotest.test_case "same line" `Quick test_suppression_same_line;
+          Alcotest.test_case "line above" `Quick test_suppression_line_above;
+          Alcotest.test_case "wrong rule kept" `Quick test_suppression_wrong_rule;
+          Alcotest.test_case "allow all" `Quick test_suppression_all;
+          Alcotest.test_case "stale reported" `Quick test_unused_suppression_reported;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "path scoping" `Quick test_rule_path_scoping;
+          Alcotest.test_case "mli parsing" `Quick test_mli_parsing;
+          Alcotest.test_case "parse error" `Quick test_parse_error;
+        ] );
+      ( "reporters",
+        [
+          Alcotest.test_case "json" `Quick test_json_report;
+          Alcotest.test_case "json escaping" `Quick test_json_escaping;
+          Alcotest.test_case "human" `Quick test_human_report;
+        ] );
+    ]

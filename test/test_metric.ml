@@ -75,7 +75,7 @@ let test_bandwidth_roundtrip () =
   check_float "self distance" 0.0 (Bandwidth.to_distance Float.infinity);
   Alcotest.(check bool)
     "self bandwidth" true
-    (Bandwidth.of_distance 0.0 = Float.infinity)
+    (Float.equal (Bandwidth.of_distance 0.0) Float.infinity)
 
 let test_bandwidth_paper_example () =
   (* Fig. 1: with C = 100 and d_T(b,c) = 23, BW_T(b,c) ~ 4.3; the text's
@@ -173,7 +173,7 @@ let test_fourpoint_noise_increases_eps () =
   let base = Bwc_dataset.Hier_tree.generate ~rng ~n:40 ~name:"base" () in
   let eps_at sigma =
     let ds =
-      if sigma = 0.0 then base
+      if Float.equal sigma 0.0 then base
       else Bwc_dataset.Noise.multiplicative ~rng:(Rng.create 7) ~sigma base
     in
     Fourpoint.epsilon_avg ~samples:8000 ~rng:(Rng.create 8) (Bwc_dataset.Dataset.metric ds)
