@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full examples clean doc lint lint-json
+.PHONY: all build test bench bench-full examples clean doc lint lint-json trace metrics
 
 all: build
 
@@ -20,6 +20,15 @@ lint-json:
 
 test-verbose:
 	dune runtest --force --no-buffer
+
+# deterministic observability surfaces (see DESIGN.md, "Observability"):
+# a JSONL event trace and a metrics-registry snapshot of the default
+# fault scenario; same seed => byte-identical output
+trace:
+	dune exec bin/bwcluster.exe -- trace --out trace.jsonl
+
+metrics:
+	dune exec bin/bwcluster.exe -- metrics
 
 bench:
 	dune exec bench/main.exe

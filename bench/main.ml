@@ -219,14 +219,25 @@ let run_micro () =
          [ name; time; Printf.sprintf "%.3f" r2 ])
        rows)
 
+(* Wall-clock phase profile via Bwc_obs.Span — the opt-in timing layer
+   that is deliberately kept out of registries and traces (bench output
+   is the one place wall time belongs). *)
+let spans = List.map Bwc_obs.Span.create [ "fig3"; "fig4"; "fig5"; "fig6"; "ablations"; "micro" ]
+
+let timed name f =
+  let span = List.find (fun s -> Bwc_obs.Span.name s = name) spans in
+  Bwc_obs.Span.time span f
+
 let () =
   let t0 = Unix.gettimeofday () in
   Format.printf "bwcluster benchmark harness (%s scale)@."
     (if full then "paper" else "bench");
-  fig3 ();
-  fig4 ();
-  fig5 ();
-  fig6 ();
-  ablations ();
-  run_micro ();
+  timed "fig3" fig3;
+  timed "fig4" fig4;
+  timed "fig5" fig5;
+  timed "fig6" fig6;
+  timed "ablations" ablations;
+  timed "micro" run_micro;
+  section "Phase profile (wall clock)";
+  List.iter (fun s -> Format.printf "%a@." Bwc_obs.Span.pp s) spans;
   Format.printf "@.total wall time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -381,6 +381,132 @@ let query_cmd =
   in
   Cmd.v (Cmd.info "query" ~doc) Term.(const query $ seed_arg $ dataset_arg $ k $ b)
 
+(* ----- observability: trace + metrics ----- *)
+
+(* One deterministic scenario shared by `trace` and `metrics`: stand up an
+   ensemble + protocol (optionally under a fault plan) on one registry and
+   one trace sink, run the aggregation, then replay a seeded query
+   stream.  Everything derives from --seed, so two runs with the same
+   arguments produce byte-identical output. *)
+let build_observed ~seed ~dataset ~hosts ~drop ~duplicate ~jitter ~queries =
+  (match hosts with
+  | Some h when h < 2 ->
+      Format.eprintf "bwcluster: --hosts must be at least 2@.";
+      exit Cmdliner.Cmd.Exit.cli_error
+  | _ -> ());
+  if drop < 0.0 || drop > 1.0 || duplicate < 0.0 || duplicate > 1.0 then begin
+    Format.eprintf "bwcluster: --drop and --duplicate must be in [0,1]@.";
+    exit Cmdliner.Cmd.Exit.cli_error
+  end;
+  let ds = load_dataset ~seed dataset in
+  let ds =
+    match hosts with
+    | Some h when h < Bwc_dataset.Dataset.size ds ->
+        Bwc_dataset.Dataset.random_subset ds ~rng:(Bwc_stats.Rng.create seed) h
+    | _ -> ds
+  in
+  let n = Bwc_dataset.Dataset.size ds in
+  let space = Bwc_dataset.Dataset.metric ds in
+  let metrics = Bwc_obs.Registry.create () in
+  let trace = Bwc_obs.Trace.create () in
+  let faults =
+    Bwc_sim.Fault.create ~drop ~duplicate ~jitter ~metrics
+      ~rng:(Bwc_stats.Rng.create (seed + 1)) ()
+  in
+  let ens = Bwc_predtree.Ensemble.build ~rng:(Bwc_stats.Rng.create (seed + 2)) ~metrics space in
+  let classes = Bwc_core.Classes.of_percentiles ~count:5 ds in
+  let protocol =
+    Bwc_core.Protocol.create ~rng:(Bwc_stats.Rng.create (seed + 3)) ~n_cut:4 ~faults
+      ~metrics ~trace ~classes ens
+  in
+  let (_ : int) = Bwc_core.Protocol.run_aggregation protocol in
+  let lo, hi = Bwc_dataset.Dataset.percentile_range ds ~lo:20.0 ~hi:80.0 in
+  let qrng = Bwc_stats.Rng.create (seed + 4) in
+  for _ = 1 to queries do
+    let at = Bwc_stats.Rng.int qrng n in
+    let k = 2 + Bwc_stats.Rng.int qrng 6 in
+    let b = Bwc_stats.Rng.uniform qrng lo hi in
+    ignore (Bwc_core.Protocol.query_bandwidth protocol ~at ~k ~b)
+  done;
+  (metrics, trace)
+
+let write_or_print output contents =
+  match output with
+  | Some path ->
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc contents);
+      Format.printf "wrote %s@." path
+  | None -> print_string contents
+
+let hosts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "hosts" ] ~docv:"N"
+        ~doc:"Restrict the dataset to a random N-host subset (quick runs).")
+
+let drop_arg =
+  Arg.(value & opt float 0.1
+       & info [ "drop" ] ~docv:"P" ~doc:"Per-message loss probability.")
+
+let duplicate_arg =
+  Arg.(value & opt float 0.05
+       & info [ "duplicate" ] ~docv:"P" ~doc:"Per-message duplication probability.")
+
+let jitter_arg =
+  Arg.(value & opt int 1
+       & info [ "jitter" ] ~docv:"R" ~doc:"Maximum extra delivery delay in rounds.")
+
+let queries_arg =
+  Arg.(value & opt int 20
+       & info [ "queries" ] ~docv:"N" ~doc:"Queries to replay after aggregation.")
+
+let out_arg doc = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+
+let trace seed dataset hosts drop duplicate jitter queries output =
+  let _, tr =
+    build_observed ~seed ~dataset ~hosts ~drop ~duplicate ~jitter ~queries
+  in
+  write_or_print output (Bwc_obs.Trace.to_jsonl tr)
+
+let trace_cmd =
+  let doc =
+    "Run a deterministic fault scenario and emit its structured event trace as \
+     JSONL (one event per line, clocked by simulation rounds).  Identical \
+     arguments produce byte-identical traces."
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(
+      const trace $ seed_arg $ dataset_arg $ hosts_arg $ drop_arg $ duplicate_arg
+      $ jitter_arg $ queries_arg
+      $ out_arg "Write the JSONL trace to $(docv) instead of stdout.")
+
+let metrics_report seed dataset hosts drop duplicate jitter queries json output =
+  let reg, _ =
+    build_observed ~seed ~dataset ~hosts ~drop ~duplicate ~jitter ~queries
+  in
+  let snap = Bwc_obs.Registry.snapshot reg in
+  let contents =
+    if json then Bwc_obs.Registry.to_json snap ^ "\n"
+    else Bwc_obs.Registry.to_text snap
+  in
+  write_or_print output contents
+
+let metrics_cmd =
+  let doc =
+    "Run a deterministic fault scenario and print the full metrics registry \
+     snapshot (engine, fault, protocol, query and prediction-tree series)."
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the snapshot as JSON.")
+  in
+  Cmd.v (Cmd.info "metrics" ~doc)
+    Term.(
+      const metrics_report $ seed_arg $ dataset_arg $ hosts_arg $ drop_arg
+      $ duplicate_arg $ jitter_arg $ queries_arg $ json
+      $ out_arg "Write the report to $(docv) instead of stdout.")
+
 let main_cmd =
   let doc = "Bandwidth-constrained cluster search (ICDCS 2011 reproduction)." in
   Cmd.group
@@ -397,6 +523,8 @@ let main_cmd =
       routing_cmd;
       robustness_cmd;
       dynamic_cmd;
+      trace_cmd;
+      metrics_cmd;
       gen_cmd;
       export_tree_cmd;
       inspect_cmd;

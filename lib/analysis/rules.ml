@@ -345,6 +345,21 @@ let no_print_in_lib =
       "exit";
     ]
 
+let no_wall_clock_in_lib =
+  banned_idents ~id:"no-wall-clock-in-lib" ~severity:Finding.Error
+    ~doc:
+      "Library code must not read the wall clock: metrics and traces are \
+       clocked by simulation rounds so same-seed runs stay byte-identical.  \
+       lib/obs/span.ml is the audited opt-in profiling module and is \
+       exempt; benchmarks and executables outside lib/ may time freely."
+    ~only_paths:[ "lib/" ]
+    ~allow_paths:[ "lib/obs/span.ml" ]
+    ~message:(fun ident ->
+      ident
+      ^ " reads the wall clock in library code; use Bwc_obs.Span for opt-in \
+         profiling or clock by simulation rounds")
+    [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
 let all =
   [
     no_stdlib_random;
@@ -353,6 +368,7 @@ let all =
     no_partial_stdlib;
     no_quadratic_append;
     no_print_in_lib;
+    no_wall_clock_in_lib;
     naked_failwith;
     no_obj_magic;
   ]

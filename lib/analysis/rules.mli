@@ -26,6 +26,7 @@ val no_polymorphic_compare_on_floats : t
 val no_partial_stdlib : t
 val no_quadratic_append : t
 val no_print_in_lib : t
+val no_wall_clock_in_lib : t
 val naked_failwith : t
 val no_obj_magic : t
 

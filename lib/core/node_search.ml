@@ -26,6 +26,8 @@ let best_bw ?c space ~targets =
   | Some (x, radius) -> Some (x, Bwc_metric.Bandwidth.of_distance ?c radius)
 
 let local protocol ~at ~targets =
+  Bwc_obs.Registry.Counter.incr
+    (Bwc_obs.Registry.counter (Protocol.metrics protocol) "node_search.calls");
   if targets = [] then None
   else begin
     let infos = Protocol.clustering_space protocol at in

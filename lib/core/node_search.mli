@@ -18,4 +18,5 @@ val best_bw :
 val local : Protocol.t -> at:int -> targets:Node_info.t list -> (int * float) option
 (** Decentralized approximation: the best candidate within the clustering
     space of host [at] (what a node can answer from local state).  The
-    targets are given as node infos so distances are label-predicted. *)
+    targets are given as node infos so distances are label-predicted.
+    Each call bumps [node_search.calls] in the protocol's registry. *)

@@ -1,6 +1,8 @@
 module Ensemble = Bwc_predtree.Ensemble
 module Engine = Bwc_sim.Engine
 module Fault = Bwc_sim.Fault
+module Registry = Bwc_obs.Registry
+module Trace = Bwc_obs.Trace
 
 type payload = {
   prop_node : Node_info.t list;
@@ -45,11 +47,17 @@ type t = {
   resend_timeout : int;
   mutable nodes : node option array; (* indexed by host id; None = not a member *)
   engine : message Engine.t;
+  trace : Trace.t option;
   mutable rounds : int;
   mutable unacked : int;             (* out entries awaiting an ack, system-wide *)
-  mutable retries : int;
-  mutable dup_suppressed : int;
-  mutable stale_discarded : int;
+  c_retransmissions : Registry.Counter.t;
+  c_dup_suppressed : Registry.Counter.t;
+  c_stale_discarded : Registry.Counter.t;
+  g_unacked : Registry.Gauge.t;
+  h_query_hops : Registry.Histogram.t;
+  c_query_retries : Registry.Counter.t;
+  c_query_hits : Registry.Counter.t;
+  c_query_misses : Registry.Counter.t;
 }
 
 let node_of_host fw host = Node_info.make ~host ~labels:(Ensemble.labels fw host)
@@ -79,10 +87,12 @@ let sync_engine_active t =
     (fun h slot -> Engine.set_active t.engine h (slot <> None))
     t.nodes
 
-let create ~rng ?(n_cut = 10) ?edge_delay ?faults ?(resend_timeout = 3) ~classes fw =
+let create ~rng ?(n_cut = 10) ?edge_delay ?faults ?(resend_timeout = 3) ?metrics
+    ?trace ~classes fw =
   if n_cut < 1 then invalid_arg "Protocol.create: n_cut < 1";
   if resend_timeout < 1 then invalid_arg "Protocol.create: resend_timeout < 1";
   let n = Ensemble.hosts fw in
+  let metrics = match metrics with Some m -> m | None -> Registry.create () in
   let t =
     {
       fw;
@@ -90,12 +100,18 @@ let create ~rng ?(n_cut = 10) ?edge_delay ?faults ?(resend_timeout = 3) ~classes
       n_cut;
       resend_timeout;
       nodes = node_slots fw classes;
-      engine = Engine.create ?edge_delay ?faults ~rng n;
+      engine = Engine.create ?edge_delay ?faults ~metrics ?trace ~rng n;
+      trace;
       rounds = 0;
       unacked = 0;
-      retries = 0;
-      dup_suppressed = 0;
-      stale_discarded = 0;
+      c_retransmissions = Registry.counter metrics "protocol.retransmissions";
+      c_dup_suppressed = Registry.counter metrics "protocol.dup_suppressed";
+      c_stale_discarded = Registry.counter metrics "protocol.stale_discarded";
+      g_unacked = Registry.gauge metrics "protocol.unacked";
+      h_query_hops = Registry.histogram metrics "query.hops";
+      c_query_retries = Registry.counter metrics "query.retries";
+      c_query_hits = Registry.counter metrics "query.hits";
+      c_query_misses = Registry.counter metrics "query.misses";
     }
   in
   sync_engine_active t;
@@ -112,6 +128,9 @@ let get_node t x =
 let n_cut t = t.n_cut
 let classes t = t.classes
 let framework t = t.fw
+let metrics t = Engine.metrics t.engine
+
+let emit t ev = match t.trace with Some tr -> Trace.emit tr ev | None -> ()
 
 (* ----- local state recomputation (Algorithm 3, lines 3-8) ----- *)
 
@@ -228,7 +247,8 @@ let resend_pending t node =
     (fun h entry ->
       if (not entry.acked) && now - entry.sent_round >= t.resend_timeout then begin
         entry.sent_round <- now;
-        t.retries <- t.retries + 1;
+        Registry.Counter.incr t.c_retransmissions;
+        emit t (Trace.Retransmit { round = now; src = node.id; dst = h });
         Engine.send t.engine ~src:node.id ~dst:h (Update { seq = entry.seq; payload = entry.payload })
       end)
     node.out
@@ -239,7 +259,7 @@ let apply_update t node ~src ~seq payload =
   let seen = Option.value ~default:(-1) (Hashtbl.find_opt node.seen_seq src) in
   if seq < seen then begin
     (* out-of-order copy superseded by something already applied *)
-    t.stale_discarded <- t.stale_discarded + 1;
+    Registry.Counter.incr t.c_stale_discarded;
     Engine.send t.engine ~src:node.id ~dst:src (Ack { seq = seen });
     false
   end
@@ -247,7 +267,7 @@ let apply_update t node ~src ~seq payload =
     (* duplicate: the aggregation merge is idempotent, so re-applying
        must be a no-op — check that the stored state already equals the
        payload, then just re-ack (the previous ack may have been lost) *)
-    t.dup_suppressed <- t.dup_suppressed + 1;
+    Registry.Counter.incr t.c_dup_suppressed;
     assert (
       match Hashtbl.find_opt node.aggr_node src with
       | Some prev -> List.compare Node_info.compare_host prev payload.prop_node = 0
@@ -307,6 +327,7 @@ let step t id inbox =
 let run_round t =
   let active = Engine.run_round t.engine ~step:(step t) in
   t.rounds <- t.rounds + 1;
+  Registry.Gauge.set t.g_unacked t.unacked;
   (* unacked updates keep the protocol live even across quiet rounds
      between retransmission timeouts *)
   active || t.unacked > 0
@@ -318,7 +339,10 @@ let run_aggregation ?max_rounds t =
   let rec loop r =
     if r >= max_rounds then r
     else if run_round t then loop (r + 1)
-    else r + 1
+    else begin
+      emit t (Trace.Quiesce { round = Engine.round t.engine });
+      r + 1
+    end
   in
   loop 0
 
@@ -349,8 +373,12 @@ let query ?(policy = `Best_crt) ?hop_budget ?(retries = 2) t ~at ~k ~cls =
   let round = Engine.round t.engine in
   let retries_used = ref 0 in
   let result cluster ~path =
-    { Query.cluster; hops = List.length path - 1; retries = !retries_used;
-      path = List.rev path }
+    let hops = List.length path - 1 in
+    Registry.Histogram.observe t.h_query_hops hops;
+    Registry.Counter.incr ~by:!retries_used t.c_query_retries;
+    Registry.Counter.incr
+      (if cluster = None then t.c_query_misses else t.c_query_hits);
+    { Query.cluster; hops; retries = !retries_used; path = List.rev path }
   in
   (* A hop to a dead or partitioned neighbor fails outright; a lossy link
      gets up to [retries] retransmissions before the router falls back to
@@ -401,7 +429,9 @@ let query ?(policy = `Best_crt) ?hop_budget ?(retries = 2) t ~at ~k ~cls =
             List.stable_sort (fun (_, a) (_, b) -> compare b a) qualifying
       in
       match first_reachable x (List.map fst ordered) with
-      | Some next -> go next ~from:(Some x) ~path:(next :: path) ~budget:(budget - 1)
+      | Some next ->
+          emit t (Trace.Query_hop { round; src = x; dst = next });
+          go next ~from:(Some x) ~path:(next :: path) ~budget:(budget - 1)
       | None -> result None ~path
     end
   in
@@ -443,9 +473,9 @@ let max_reachable t x ~cls =
 
 let messages_sent t = Engine.messages_sent t.engine
 let rounds_run t = t.rounds
-let retries t = t.retries
-let duplicates_suppressed t = t.dup_suppressed
-let stale_discarded t = t.stale_discarded
+let retries t = Registry.Counter.value t.c_retransmissions
+let duplicates_suppressed t = Registry.Counter.value t.c_dup_suppressed
+let stale_discarded t = Registry.Counter.value t.c_stale_discarded
 let pending_unacked t = t.unacked
 
 let mark_all_dirty t =

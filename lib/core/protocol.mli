@@ -41,6 +41,8 @@ val create :
   ?edge_delay:(src:int -> dst:int -> int) ->
   ?faults:Bwc_sim.Fault.t ->
   ?resend_timeout:int ->
+  ?metrics:Bwc_obs.Registry.t ->
+  ?trace:Bwc_obs.Trace.t ->
   classes:Classes.t ->
   Bwc_predtree.Ensemble.t ->
   t
@@ -53,7 +55,18 @@ val create :
     crash/restart windows.  [resend_timeout] (default 3) is how many
     rounds an update stays unacknowledged before it is retransmitted.
     With a fault plan that never heals (a permanent crash or partition),
-    [run_aggregation] keeps retrying until [max_rounds]. *)
+    [run_aggregation] keeps retrying until [max_rounds].
+
+    [metrics] is the registry the protocol {e and} its engine write to
+    ([protocol.retransmissions], [protocol.dup_suppressed],
+    [protocol.stale_discarded], the [protocol.unacked] gauge, the
+    [query.hops] histogram, [query.retries], [query.hits]/[query.misses],
+    plus the engine's [engine.*] series); a private registry is allocated
+    when omitted.  Pass the same registry to {!Bwc_sim.Fault.create} and
+    {!Bwc_predtree.Ensemble.build} to snapshot the whole stack at once.
+    [trace] enables structured event emission — engine-level
+    send/deliver/drop events plus protocol-level [Retransmit],
+    [Query_hop] and [Quiesce] — and is off when omitted. *)
 
 val n : t -> int
 (** Current member count. *)
@@ -114,18 +127,25 @@ val max_reachable : t -> int -> cls:int -> int
 (** The largest cluster size host [x] believes exists anywhere (its own
     row and every neighbor column). *)
 
+val metrics : t -> Bwc_obs.Registry.t
+(** The registry the protocol and its engine write to (the [?metrics]
+    argument of {!create}, or the private registry).  Snapshot it with
+    {!Bwc_obs.Registry.snapshot} to read every series at once. *)
+
 val messages_sent : t -> int
 val rounds_run : t -> int
 
 val retries : t -> int
-(** Timeout-triggered retransmissions of unacknowledged updates. *)
+(** Timeout-triggered retransmissions of unacknowledged updates
+    ([protocol.retransmissions]). *)
 
 val duplicates_suppressed : t -> int
-(** Updates received with an already-seen sequence number and discarded. *)
+(** Updates received with an already-seen sequence number and discarded
+    ([protocol.dup_suppressed]). *)
 
 val stale_discarded : t -> int
 (** Updates received out of order (older than the applied state) and
-    discarded. *)
+    discarded ([protocol.stale_discarded]). *)
 
 val pending_unacked : t -> int
 (** Updates still awaiting acknowledgement (0 at quiescence on a healing

@@ -1,6 +1,7 @@
 module Rng = Bwc_stats.Rng
 module Dataset = Bwc_dataset.Dataset
 module Ensemble = Bwc_predtree.Ensemble
+module Registry = Bwc_obs.Registry
 
 type row = {
   n : int;
@@ -29,15 +30,20 @@ let run ?(sizes = [ 40; 80; 120 ]) ?(repeats = 2) ?(n_cut = 10) ~seed base =
           let rng = Rng.create (seed + (100 * n) + rep) in
           let ds = Dataset.random_subset base ~rng n in
           let space = Dataset.metric ds in
-          let ens = Ensemble.build ~rng:(Rng.split rng) space in
+          (* one registry per repetition captures the whole stack: tree
+             construction cost and protocol traffic land in the same
+             snapshot *)
+          let metrics = Registry.create () in
+          let ens = Ensemble.build ~rng:(Rng.split rng) ~metrics space in
           let classes = Bwc_core.Classes.of_percentiles ~count:8 ds in
           let protocol =
-            Bwc_core.Protocol.create ~rng:(Rng.split rng) ~n_cut ~classes ens
+            Bwc_core.Protocol.create ~rng:(Rng.split rng) ~n_cut ~metrics ~classes ens
           in
           let r = Bwc_core.Protocol.run_aggregation protocol in
-          meas := !meas + Ensemble.measurements_total ens;
+          let snap = Registry.snapshot metrics in
+          meas := !meas + Registry.sum_by_name snap "predtree.measurements";
           rounds := !rounds + r;
-          msgs := !msgs + Bwc_core.Protocol.messages_sent protocol;
+          msgs := !msgs + Registry.get snap "engine.msgs_sent";
           depth :=
             !depth
             + Bwc_predtree.Anchor.max_depth
@@ -63,7 +69,8 @@ let print output =
          output.base_dataset)
     ~headers:
       [
-        "n"; "measurements"; "full mesh"; "rounds"; "messages"; "msgs/host"; "anchor depth";
+        "n"; "predtree.measurements"; "full mesh"; "rounds"; "engine.msgs_sent";
+        "msgs/host"; "anchor depth";
       ]
     (List.map
        (fun r ->
@@ -81,7 +88,10 @@ let print output =
 let save_csv output path =
   Report.save_csv ~path
     ~headers:
-      [ "n"; "measurements"; "full_mesh"; "rounds"; "messages"; "msgs_per_host"; "anchor_depth" ]
+      [
+        "n"; "predtree_measurements"; "full_mesh"; "rounds"; "engine_msgs_sent";
+        "msgs_per_host"; "anchor_depth";
+      ]
     (List.map
        (fun r ->
          [

@@ -3,6 +3,7 @@ module Dataset = Bwc_dataset.Dataset
 module Ensemble = Bwc_predtree.Ensemble
 module Fault = Bwc_sim.Fault
 module Protocol = Bwc_core.Protocol
+module Registry = Bwc_obs.Registry
 
 type row = {
   drop : float;
@@ -83,14 +84,18 @@ let run ?(drops = [ 0.0; 0.1; 0.2; 0.3 ]) ?(crash_rates = [ 0.0; 0.15 ])
   let classes = Bwc_core.Classes.of_percentiles ~count:class_count dataset in
   let lo, hi = Workload.bandwidth_range dataset in
   (* identical ensemble and protocol seeds per configuration, so any
-     difference in the outcome is attributable to the fault plan alone *)
-  let build ?faults () =
-    let ens = Ensemble.build ~rng:(Rng.create (seed + 1)) space in
-    let p = Protocol.create ~rng:(Rng.create (seed + 2)) ~n_cut ?faults ~classes ens in
+     difference in the outcome is attributable to the fault plan alone;
+     each configuration gets its own registry so its snapshot is a
+     self-contained record of what the whole stack did *)
+  let build ?faults ~metrics () =
+    let ens = Ensemble.build ~rng:(Rng.create (seed + 1)) ~metrics space in
+    let p =
+      Protocol.create ~rng:(Rng.create (seed + 2)) ~n_cut ?faults ~metrics ~classes ens
+    in
     let rounds = Protocol.run_aggregation ~max_rounds p in
     (ens, p, rounds)
   in
-  let ens, clean, clean_rounds = build () in
+  let ens, clean, clean_rounds = build ~metrics:(Registry.create ()) () in
   let clean_messages = Protocol.messages_sent clean in
   let rr_clean, _ = measure_rr ~seed:(seed + 3) ~queries ~n ~lo ~hi clean in
   let rows =
@@ -105,14 +110,19 @@ let run ?(drops = [ 0.0; 0.1; 0.2; 0.3 ]) ?(crash_rates = [ 0.0; 0.15 ])
                 + int_of_float (crash_rate *. 100_000.0))
             in
             let crashes = random_crashes ~rng:crash_rng ~n ~crash_rate in
+            let metrics = Registry.create () in
             let faults =
-              Fault.create ~drop ~duplicate ~jitter ~crashes
+              Fault.create ~drop ~duplicate ~jitter ~crashes ~metrics
                 ~rng:(Rng.split crash_rng) ()
             in
-            let _, p, rounds = build ~faults () in
+            let _, p, rounds = build ~faults ~metrics () in
             let rr, query_retries =
               measure_rr ~seed:(seed + 3) ~queries ~n ~lo ~hi p
             in
+            (* the row is read off the configuration's registry snapshot:
+               the same numbers `bwcluster metrics` would report *)
+            let snap = Registry.snapshot metrics in
+            let messages = Registry.get snap "engine.msgs_sent" in
             {
               drop;
               crash_rate;
@@ -121,15 +131,14 @@ let run ?(drops = [ 0.0; 0.1; 0.2; 0.3 ]) ?(crash_rates = [ 0.0; 0.15 ])
               fixpoint_match = fixpoint_matches ~n ens clean p;
               rounds;
               round_overhead = float_of_int rounds /. float_of_int clean_rounds;
-              messages = Protocol.messages_sent p;
+              messages;
               message_overhead =
-                float_of_int (Protocol.messages_sent p)
-                /. float_of_int clean_messages;
-              retries = Protocol.retries p;
-              dup_suppressed = Protocol.duplicates_suppressed p;
-              lost = Fault.lost faults;
-              duplicated = Fault.duplicated faults;
-              delayed = Fault.delayed faults;
+                float_of_int messages /. float_of_int clean_messages;
+              retries = Registry.get snap "protocol.retransmissions";
+              dup_suppressed = Registry.get snap "protocol.dup_suppressed";
+              lost = Registry.get snap "fault.lost";
+              duplicated = Registry.get snap "fault.duplicated";
+              delayed = Registry.get snap "fault.delayed";
               rr;
               rr_delta = rr_clean -. rr;
               query_retries;

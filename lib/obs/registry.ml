@@ -1,0 +1,453 @@
+(* Deterministic metrics registry.
+
+   Handles are resolved once and bumped on hot paths (a Counter.incr is
+   one int store); snapshots and renderers traverse in sorted
+   (name, labels) order so same-seed runs produce byte-identical
+   reports.  Nothing here reads the clock or draws randomness. *)
+
+type labels = (string * string) list
+
+let normalize_labels labels = List.sort_uniq Stdlib.compare labels
+
+(* 0 is its own bucket; bucket i >= 1 holds [2^(i-1), 2^i).  63 value
+   buckets cover every non-negative OCaml int. *)
+let n_buckets = 64
+
+type hist = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_max : int;
+  h_buckets : int array;
+}
+
+type metric =
+  | M_counter of int ref
+  | M_gauge of int ref
+  | M_hist of hist
+
+type t = { tbl : (string * labels, metric) Hashtbl.t }
+
+let create () = { tbl = Hashtbl.create 32 }
+
+module Counter = struct
+  type t = int ref
+
+  let incr ?(by = 1) c =
+    if by < 0 then invalid_arg "Registry.Counter.incr: negative increment";
+    c := !c + by
+
+  let value c = !c
+end
+
+module Gauge = struct
+  type t = int ref
+
+  let set g v = g := v
+  let add g d = g := !g + d
+  let value g = !g
+end
+
+module Histogram = struct
+  type t = hist
+
+  let bucket_of v =
+    (* v = 0 -> 0; otherwise 1 + floor(log2 v) = the bit width of v *)
+    let rec width acc v = if v = 0 then acc else width (acc + 1) (v lsr 1) in
+    width 0 v
+
+  let observe h v =
+    if v < 0 then invalid_arg "Registry.Histogram.observe: negative sample";
+    h.h_count <- h.h_count + 1;
+    h.h_sum <- h.h_sum + v;
+    if v > h.h_max then h.h_max <- v;
+    let b = bucket_of v in
+    h.h_buckets.(b) <- h.h_buckets.(b) + 1
+
+  let count h = h.h_count
+  let sum h = h.h_sum
+  let max_value h = h.h_max
+
+  let bucket_bounds i =
+    if i <= 0 then (0, 0) else (1 lsl (i - 1), (1 lsl i) - 1)
+end
+
+let counter t ?(labels = []) name =
+  let key = (name, normalize_labels labels) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some (M_counter c) -> c
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Registry.counter: %s already registered with a different type" name)
+  | None ->
+      let c = ref 0 in
+      Hashtbl.replace t.tbl key (M_counter c);
+      c
+
+let gauge t ?(labels = []) name =
+  let key = (name, normalize_labels labels) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some (M_gauge g) -> g
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Registry.gauge: %s already registered with a different type" name)
+  | None ->
+      let g = ref 0 in
+      Hashtbl.replace t.tbl key (M_gauge g);
+      g
+
+let histogram t ?(labels = []) name =
+  let key = (name, normalize_labels labels) in
+  match Hashtbl.find_opt t.tbl key with
+  | Some (M_hist h) -> h
+  | Some _ ->
+      invalid_arg
+        (Printf.sprintf "Registry.histogram: %s already registered with a different type"
+           name)
+  | None ->
+      let h = { h_count = 0; h_sum = 0; h_max = 0; h_buckets = Array.make n_buckets 0 } in
+      Hashtbl.replace t.tbl key (M_hist h);
+      h
+
+type sample =
+  | Counter of int
+  | Gauge of int
+  | Histogram of {
+      count : int;
+      sum : int;
+      max_value : int;
+      buckets : (int * int) list;
+    }
+
+type snapshot = (string * labels * sample) list
+
+let sample_of = function
+  | M_counter c -> Counter !c
+  | M_gauge g -> Gauge !g
+  | M_hist h ->
+      let buckets = ref [] in
+      for i = n_buckets - 1 downto 0 do
+        if h.h_buckets.(i) > 0 then buckets := (i, h.h_buckets.(i)) :: !buckets
+      done;
+      Histogram { count = h.h_count; sum = h.h_sum; max_value = h.h_max; buckets = !buckets }
+
+let snapshot t =
+  List.rev
+    (Bwc_stats.Tbl.fold_sorted
+       (fun (name, labels) m acc -> (name, labels, sample_of m) :: acc)
+       t.tbl [])
+
+let diff ~before ~after =
+  let prior = Hashtbl.create (List.length before) in
+  List.iter (fun (name, labels, s) -> Hashtbl.replace prior (name, labels) s) before;
+  List.map
+    (fun (name, labels, s) ->
+      let s =
+        match (s, Hashtbl.find_opt prior (name, labels)) with
+        | Counter a, Some (Counter b) -> Counter (a - b)
+        | Gauge a, _ -> Gauge a
+        | Histogram a, Some (Histogram b) ->
+            let old = Hashtbl.create 8 in
+            List.iter (fun (i, c) -> Hashtbl.replace old i c) b.buckets;
+            let buckets =
+              List.filter_map
+                (fun (i, c) ->
+                  let c = c - Option.value ~default:0 (Hashtbl.find_opt old i) in
+                  if c > 0 then Some (i, c) else None)
+                a.buckets
+            in
+            Histogram
+              {
+                count = a.count - b.count;
+                sum = a.sum - b.sum;
+                max_value = a.max_value;
+                buckets;
+              }
+        | s, _ -> s
+      in
+      (name, labels, s))
+    after
+
+let reset t =
+  Bwc_stats.Tbl.iter_sorted
+    (fun _ m ->
+      match m with
+      | M_counter c -> c := 0
+      | M_gauge g -> g := 0
+      | M_hist h ->
+          h.h_count <- 0;
+          h.h_sum <- 0;
+          h.h_max <- 0;
+          Array.fill h.h_buckets 0 n_buckets 0)
+    t.tbl
+
+let find snap ?(labels = []) name =
+  let labels = normalize_labels labels in
+  List.find_map
+    (fun (n, l, s) -> if n = name && l = labels then Some s else None)
+    snap
+
+let scalar = function
+  | Counter v | Gauge v -> v
+  | Histogram h -> h.count
+
+let get snap ?labels name =
+  match find snap ?labels name with Some s -> scalar s | None -> 0
+
+let sum_by_name snap name =
+  List.fold_left
+    (fun acc (n, _, s) -> if n = name then acc + scalar s else acc)
+    0 snap
+
+(* ----- text rendering ----- *)
+
+let pp_labels ppf = function
+  | [] -> ()
+  | labels ->
+      Format.fprintf ppf "{%s}"
+        (String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels))
+
+let pp_sample ppf = function
+  | Counter v -> Format.fprintf ppf "%d" v
+  | Gauge v -> Format.fprintf ppf "%d gauge" v
+  | Histogram h ->
+      Format.fprintf ppf "histogram count=%d sum=%d max=%d" h.count h.sum h.max_value;
+      if h.buckets <> [] then begin
+        let bucket (i, c) =
+          let lo, hi = Histogram.bucket_bounds i in
+          if lo = hi then Printf.sprintf "%d:%d" lo c
+          else Printf.sprintf "%d-%d:%d" lo hi c
+        in
+        Format.fprintf ppf " buckets=[%s]"
+          (String.concat " " (List.map bucket h.buckets))
+      end
+
+let pp_text ppf snap =
+  List.iter
+    (fun (name, labels, s) ->
+      Format.fprintf ppf "%s%a %a@." name pp_labels labels pp_sample s)
+    snap
+
+let to_text snap = Format.asprintf "%a" pp_text snap
+
+(* ----- JSON rendering ----- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_entry buf (name, labels, s) =
+  Buffer.add_string buf (Printf.sprintf "{\"name\":\"%s\",\"labels\":{" (json_escape name));
+  List.iteri
+    (fun i (k, v) ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf (Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v)))
+    labels;
+  Buffer.add_string buf "},";
+  (match s with
+  | Counter v -> Buffer.add_string buf (Printf.sprintf "\"type\":\"counter\",\"value\":%d" v)
+  | Gauge v -> Buffer.add_string buf (Printf.sprintf "\"type\":\"gauge\",\"value\":%d" v)
+  | Histogram h ->
+      Buffer.add_string buf
+        (Printf.sprintf "\"type\":\"histogram\",\"count\":%d,\"sum\":%d,\"max\":%d,\"buckets\":["
+           h.count h.sum h.max_value);
+      List.iteri
+        (fun i (b, c) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf (Printf.sprintf "[%d,%d]" b c))
+        h.buckets;
+      Buffer.add_char buf ']');
+  Buffer.add_char buf '}'
+
+let to_json snap =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\"metrics\":[";
+  List.iteri
+    (fun i entry ->
+      if i > 0 then Buffer.add_char buf ',';
+      json_of_entry buf entry)
+    snap;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+(* ----- JSON parsing (the subset [to_json] emits) ----- *)
+
+type json =
+  | J_obj of (string * json) list
+  | J_arr of json list
+  | J_str of string
+  | J_int of int
+
+exception Parse_error of string
+
+let parse_json s =
+  let pos = ref 0 in
+  let len = String.length s in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let skip_ws () =
+    while !pos < len && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+          advance ();
+          (match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+          | Some 'u' ->
+              advance ();
+              if !pos + 4 > len then fail "truncated \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              if code > 0xff then fail "non-latin \\u escape unsupported";
+              Buffer.add_char buf (Char.chr code);
+              pos := !pos + 4
+          | _ -> fail "bad escape");
+          go ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_int () =
+    skip_ws ();
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    while !pos < len && s.[!pos] >= '0' && s.[!pos] <= '9' do
+      advance ()
+    done;
+    if !pos = start then fail "expected a number";
+    J_int (int_of_string (String.sub s start (!pos - start)))
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin advance (); J_obj [] end
+        else begin
+          let rec members acc =
+            let key = (skip_ws (); parse_string ()) in
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((key, v) :: acc)
+            | Some '}' -> advance (); List.rev ((key, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          J_obj (members [])
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin advance (); J_arr [] end
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          J_arr (elements [])
+        end
+    | Some '"' -> J_str (parse_string ())
+    | _ -> parse_int ()
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage";
+  v
+
+let member key = function
+  | J_obj fields -> (
+      match List.assoc_opt key fields with
+      | Some v -> v
+      | None -> raise (Parse_error (Printf.sprintf "missing field %S" key)))
+  | _ -> raise (Parse_error (Printf.sprintf "expected an object holding %S" key))
+
+let as_int = function
+  | J_int v -> v
+  | _ -> raise (Parse_error "expected an integer")
+
+let as_str = function
+  | J_str v -> v
+  | _ -> raise (Parse_error "expected a string")
+
+let sample_of_json j =
+  match as_str (member "type" j) with
+  | "counter" -> Counter (as_int (member "value" j))
+  | "gauge" -> Gauge (as_int (member "value" j))
+  | "histogram" ->
+      let buckets =
+        match member "buckets" j with
+        | J_arr pairs ->
+            List.map
+              (function
+                | J_arr [ b; c ] -> (as_int b, as_int c)
+                | _ -> raise (Parse_error "expected a [bucket, count] pair"))
+              pairs
+        | _ -> raise (Parse_error "expected a bucket array")
+      in
+      Histogram
+        {
+          count = as_int (member "count" j);
+          sum = as_int (member "sum" j);
+          max_value = as_int (member "max" j);
+          buckets;
+        }
+  | other -> raise (Parse_error (Printf.sprintf "unknown metric type %S" other))
+
+let of_json text =
+  match parse_json text with
+  | exception Parse_error msg -> Error msg
+  | exception Failure msg -> Error msg
+  | j -> (
+      try
+        match member "metrics" j with
+        | J_arr entries ->
+            Ok
+              (List.map
+                 (fun e ->
+                   let labels =
+                     match member "labels" e with
+                     | J_obj fields -> List.map (fun (k, v) -> (k, as_str v)) fields
+                     | _ -> raise (Parse_error "expected a labels object")
+                   in
+                   (as_str (member "name" e), labels, sample_of_json e))
+                 entries)
+        | _ -> Error "\"metrics\" is not an array"
+      with Parse_error msg -> Error msg)

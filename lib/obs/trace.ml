@@ -1,0 +1,79 @@
+(* Round-clocked structured tracing.
+
+   Events carry the simulation round, never wall time: the JSONL
+   rendering of a run is a pure function of its seeds, which is what
+   lets tests diff whole traces byte-for-byte. *)
+
+type drop_cause = Fault_loss | Partition | Dead_dst | Purge
+
+type event =
+  | Round_start of { round : int }
+  | Send of { round : int; src : int; dst : int }
+  | Deliver of { round : int; src : int; dst : int }
+  | Drop of { round : int; src : int; dst : int; cause : drop_cause }
+  | Retransmit of { round : int; src : int; dst : int }
+  | Crash of { round : int; node : int }
+  | Restart of { round : int; node : int }
+  | Query_hop of { round : int; src : int; dst : int }
+  | Quiesce of { round : int }
+
+type t = {
+  capacity : int option;
+  q : event Queue.t;
+  mutable emitted : int;
+}
+
+let create ?capacity () =
+  (match capacity with
+  | Some c when c < 1 -> invalid_arg "Trace.create: capacity < 1"
+  | Some _ | None -> ());
+  { capacity; q = Queue.create (); emitted = 0 }
+
+let emit t ev =
+  t.emitted <- t.emitted + 1;
+  Queue.add ev t.q;
+  match t.capacity with
+  | Some c when Queue.length t.q > c -> ignore (Queue.pop t.q)
+  | Some _ | None -> ()
+
+let events t = List.of_seq (Queue.to_seq t.q)
+let emitted t = t.emitted
+let clear t = Queue.clear t.q
+
+let cause_to_string = function
+  | Fault_loss -> "fault_loss"
+  | Partition -> "partition"
+  | Dead_dst -> "dead_dst"
+  | Purge -> "purge"
+
+let event_to_json = function
+  | Round_start { round } -> Printf.sprintf "{\"ev\":\"round_start\",\"round\":%d}" round
+  | Send { round; src; dst } ->
+      Printf.sprintf "{\"ev\":\"send\",\"round\":%d,\"src\":%d,\"dst\":%d}" round src dst
+  | Deliver { round; src; dst } ->
+      Printf.sprintf "{\"ev\":\"deliver\",\"round\":%d,\"src\":%d,\"dst\":%d}" round src dst
+  | Drop { round; src; dst; cause } ->
+      Printf.sprintf "{\"ev\":\"drop\",\"round\":%d,\"src\":%d,\"dst\":%d,\"cause\":\"%s\"}"
+        round src dst (cause_to_string cause)
+  | Retransmit { round; src; dst } ->
+      Printf.sprintf "{\"ev\":\"retransmit\",\"round\":%d,\"src\":%d,\"dst\":%d}" round src
+        dst
+  | Crash { round; node } ->
+      Printf.sprintf "{\"ev\":\"crash\",\"round\":%d,\"node\":%d}" round node
+  | Restart { round; node } ->
+      Printf.sprintf "{\"ev\":\"restart\",\"round\":%d,\"node\":%d}" round node
+  | Query_hop { round; src; dst } ->
+      Printf.sprintf "{\"ev\":\"query_hop\",\"round\":%d,\"src\":%d,\"dst\":%d}" round src
+        dst
+  | Quiesce { round } -> Printf.sprintf "{\"ev\":\"quiesce\",\"round\":%d}" round
+
+let to_jsonl t =
+  let buf = Buffer.create 4096 in
+  Queue.iter
+    (fun ev ->
+      Buffer.add_string buf (event_to_json ev);
+      Buffer.add_char buf '\n')
+    t.q;
+  Buffer.contents buf
+
+let pp_event ppf ev = Format.pp_print_string ppf (event_to_json ev)

@@ -1,0 +1,56 @@
+(** Structured, round-clocked trace of engine and protocol activity.
+
+    Events are typed and stamped with the {e simulation round} — never
+    wall time — so two runs from the same seed and fault plan emit
+    byte-identical traces ({!to_jsonl} is the canonical rendering, one
+    JSON object per line).  Components emit into a sink resolved at
+    construction time; the sink is either unbounded or a bounded ring
+    that keeps the newest events. *)
+
+type drop_cause =
+  | Fault_loss  (** lost by the fault plan at send time *)
+  | Partition   (** blocked by a scripted partition at send time *)
+  | Dead_dst    (** destination inactive at delivery time *)
+  | Purge       (** in-flight traffic purged by a crash/leave or
+                    [clear_in_flight] *)
+
+type event =
+  | Round_start of { round : int }
+  | Send of { round : int; src : int; dst : int }
+  | Deliver of { round : int; src : int; dst : int }
+  | Drop of { round : int; src : int; dst : int; cause : drop_cause }
+  | Retransmit of { round : int; src : int; dst : int }
+  | Crash of { round : int; node : int }
+  | Restart of { round : int; node : int }
+  | Query_hop of { round : int; src : int; dst : int }
+  | Quiesce of { round : int }
+
+type t
+(** A sink. *)
+
+val create : ?capacity:int -> unit -> t
+(** Unbounded by default; [capacity] turns the sink into a ring that
+    retains only the newest [capacity] events ([capacity >= 1]). *)
+
+val emit : t -> event -> unit
+
+val events : t -> event list
+(** Retained events, oldest first. *)
+
+val emitted : t -> int
+(** Total events ever emitted (>= [List.length (events t)] for rings). *)
+
+val clear : t -> unit
+(** Drops retained events; [emitted] keeps counting from its old value. *)
+
+val cause_to_string : drop_cause -> string
+
+val event_to_json : event -> string
+(** One canonical single-line JSON object, e.g.
+    [{"ev":"drop","round":3,"src":0,"dst":5,"cause":"fault_loss"}]. *)
+
+val to_jsonl : t -> string
+(** Retained events as JSONL (one {!event_to_json} line per event,
+    each terminated by ['\n']). *)
+
+val pp_event : Format.formatter -> event -> unit

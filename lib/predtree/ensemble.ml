@@ -8,12 +8,15 @@ type t = {
 
 let default_size = 3
 
-let build ~rng ?mode ?(size = default_size) ?members space =
+let build ~rng ?mode ?(size = default_size) ?members ?metrics space =
   if size < 1 then invalid_arg "Ensemble.build: size < 1";
   {
     space;
     frameworks =
-      Array.init size (fun _ -> Framework.build ~rng:(Rng.split rng) ?mode ?members space);
+      Array.init size (fun i ->
+          Framework.build ~rng:(Rng.split rng) ?mode ?members ?metrics
+            ~metric_labels:[ ("tree", string_of_int i) ]
+            space);
   }
 
 let size t = Array.length t.frameworks

@@ -22,7 +22,10 @@ val default_size : int
 
 val build :
   rng:Bwc_stats.Rng.t -> ?mode:Framework.mode -> ?size:int -> ?members:int list ->
-  Bwc_metric.Space.t -> t
+  ?metrics:Bwc_obs.Registry.t -> Bwc_metric.Space.t -> t
+(** [metrics] is shared by every tree; tree [i] charges its construction
+    cost to [predtree.measurements{tree=i}], so per-tree counts stay
+    distinct and {!measurements_total} still sums them. *)
 
 val size : t -> int
 (** Number of trees. *)

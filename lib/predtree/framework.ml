@@ -1,5 +1,6 @@
 module Rng = Bwc_stats.Rng
 module Space = Bwc_metric.Space
+module Registry = Bwc_obs.Registry
 
 type mode = {
   base : Builder.base_strategy;
@@ -19,7 +20,7 @@ type t = {
      O(1) instead of copying the whole list with [@ [h]]; [members]
      flips it back to root-first order on demand *)
   mutable rev_order : int list;
-  mutable measurements : int;
+  c_measurements : Registry.Counter.t;
 }
 
 let insert ~rng t host =
@@ -27,12 +28,12 @@ let insert ~rng t host =
     Builder.add_host ~d:t.space.Space.dist ~rng ~base:t.mode.base
       ~strategy:t.mode.end_search ~tree:t.tree ~anchor:t.anchor ~labels:t.labels host
   in
-  t.measurements <- t.measurements + outcome.Builder.measurements
+  Registry.Counter.incr ~by:outcome.Builder.measurements t.c_measurements
 
 let check_host t h =
   if h < 0 || h >= t.space.Space.n then invalid_arg "Framework: host id out of range"
 
-let build ~rng ?(mode = default_mode) ?members space =
+let build ~rng ?(mode = default_mode) ?members ?metrics ?(metric_labels = []) space =
   let order =
     match members with
     | None -> Array.to_list (Rng.permutation rng space.Space.n)
@@ -41,6 +42,7 @@ let build ~rng ?(mode = default_mode) ?members space =
         Rng.shuffle rng ms;
         Array.to_list ms
   in
+  let metrics = match metrics with Some m -> m | None -> Registry.create () in
   let t =
     {
       space;
@@ -49,7 +51,8 @@ let build ~rng ?(mode = default_mode) ?members space =
       anchor = Anchor.create ();
       labels = Hashtbl.create space.Space.n;
       rev_order = List.rev order;
-      measurements = 0;
+      c_measurements =
+        Registry.counter metrics ~labels:metric_labels "predtree.measurements";
     }
   in
   List.iter
@@ -77,7 +80,7 @@ let predicted_bw ?c t i j =
   if i = j then Float.infinity else Bwc_metric.Bandwidth.of_distance ?c (predicted t i j)
 
 let measured t i j = t.space.Space.dist i j
-let measurements_total t = t.measurements
+let measurements_total t = Registry.Counter.value t.c_measurements
 
 let relative_errors ?c t =
   let members = Array.of_list (members t) in

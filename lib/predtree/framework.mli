@@ -24,10 +24,20 @@ val centralized_mode : mode
 type t
 
 val build :
-  rng:Bwc_stats.Rng.t -> ?mode:mode -> ?members:int list -> Bwc_metric.Space.t -> t
+  rng:Bwc_stats.Rng.t ->
+  ?mode:mode ->
+  ?members:int list ->
+  ?metrics:Bwc_obs.Registry.t ->
+  ?metric_labels:(string * string) list ->
+  Bwc_metric.Space.t ->
+  t
 (** [build ~rng ~mode ~members space] inserts the member hosts (default:
     all [space.n] hosts) in a random order.  [space] provides the
-    {e measured} distances (already under the rational transform). *)
+    {e measured} distances (already under the rational transform).
+    Construction and maintenance cost is charged to the
+    [predtree.measurements] counter in [metrics] (a private registry when
+    omitted), under [metric_labels] — e.g. [("tree", "0")] keeps the
+    trees of an ensemble apart when they share one registry. *)
 
 val size : t -> int
 (** Current member count. *)
@@ -52,8 +62,9 @@ val measured : t -> int -> int -> float
     does not have this). *)
 
 val measurements_total : t -> int
-(** Total pairwise measurements charged during construction — the cost the
-    framework saves compared to full n-to-n probing. *)
+(** Total pairwise measurements charged during construction and
+    maintenance — the cost the framework saves compared to full n-to-n
+    probing ([predtree.measurements] under this framework's labels). *)
 
 val relative_errors : ?c:float -> t -> float array
 (** Per-pair relative bandwidth-prediction error

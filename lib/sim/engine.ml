@@ -1,4 +1,8 @@
 module Rng = Bwc_stats.Rng
+module Registry = Bwc_obs.Registry
+module Trace = Bwc_obs.Trace
+
+type drop_cause = Trace.drop_cause = Fault_loss | Partition | Dead_dst | Purge
 
 type 'msg t = {
   rng : Rng.t;
@@ -12,12 +16,26 @@ type 'msg t = {
   inbox : (int * 'msg) Queue.t array; (* being consumed this round *)
   mutable flying : int;
   mutable round : int;
-  mutable sent : int;
-  mutable dropped : int;
+  metrics : Registry.t;
+  trace : Trace.t option;
+  c_sent : Registry.Counter.t;
+  c_delivered : Registry.Counter.t;
+  c_drop_fault : Registry.Counter.t;
+  c_drop_partition : Registry.Counter.t;
+  c_drop_dead : Registry.Counter.t;
+  c_drop_purge : Registry.Counter.t;
+  c_rounds : Registry.Counter.t;
+  g_in_flight : Registry.Gauge.t;
 }
 
-let create ?(faults = Fault.none) ?(edge_delay = fun ~src:_ ~dst:_ -> 1) ~rng n =
+let create ?(faults = Fault.none) ?(edge_delay = fun ~src:_ ~dst:_ -> 1) ?metrics
+    ?trace ~rng n =
   if n <= 0 then invalid_arg "Engine.create: n <= 0";
+  let metrics = match metrics with Some m -> m | None -> Registry.create () in
+  let drop cause =
+    Registry.counter metrics ~labels:[ ("cause", Trace.cause_to_string cause) ]
+      "engine.drops"
+  in
   {
     rng;
     n;
@@ -28,13 +46,34 @@ let create ?(faults = Fault.none) ?(edge_delay = fun ~src:_ ~dst:_ -> 1) ~rng n 
     inbox = Array.init n (fun _ -> Queue.create ());
     flying = 0;
     round = 0;
-    sent = 0;
-    dropped = 0;
+    metrics;
+    trace;
+    c_sent = Registry.counter metrics "engine.msgs_sent";
+    c_delivered = Registry.counter metrics "engine.msgs_delivered";
+    c_drop_fault = drop Fault_loss;
+    c_drop_partition = drop Partition;
+    c_drop_dead = drop Dead_dst;
+    c_drop_purge = drop Purge;
+    c_rounds = Registry.counter metrics "engine.rounds";
+    g_in_flight = Registry.gauge metrics "engine.in_flight";
   }
 
 let n t = t.n
 let round t = t.round
 let faults t = t.faults
+let metrics t = t.metrics
+
+let emit t ev = match t.trace with Some tr -> Trace.emit tr ev | None -> ()
+
+let drop_counter t = function
+  | Fault_loss -> t.c_drop_fault
+  | Partition -> t.c_drop_partition
+  | Dead_dst -> t.c_drop_dead
+  | Purge -> t.c_drop_purge
+
+let record_drop t ~src ~dst cause =
+  Registry.Counter.incr (drop_counter t cause);
+  emit t (Trace.Drop { round = t.round; src; dst; cause })
 
 let check t i = if i < 0 || i >= t.n then invalid_arg "Engine: node id out of range"
 
@@ -46,12 +85,14 @@ let enqueue t ~due entry =
 let send t ~src ~dst msg =
   check t src;
   check t dst;
-  t.sent <- t.sent + 1;
+  Registry.Counter.incr t.c_sent;
+  emit t (Trace.Send { round = t.round; src; dst });
   (* The sender cannot know whether the destination is up: the message is
      enqueued unconditionally and dropped at delivery time if the
      destination is down by then (run_round's check). *)
   match Fault.on_send t.faults ~round:t.round ~src ~dst with
-  | Fault.Blocked (`Partition | `Loss) -> t.dropped <- t.dropped + 1
+  | Fault.Blocked `Partition -> record_drop t ~src ~dst Partition
+  | Fault.Blocked `Loss -> record_drop t ~src ~dst Fault_loss
   | Fault.Deliver extras ->
       let delay = Stdlib.max 1 (t.edge_delay ~src ~dst) in
       List.iter (fun extra -> enqueue t ~due:(t.round + delay + extra) (dst, src, msg)) extras
@@ -62,15 +103,22 @@ let set_active t i b =
   if not b then begin
     (* drop queued and in-flight traffic to a departed node.
        Order-independent: each bucket is partitioned in isolation and the
-       counter updates are commutative sums. *)
+       counter updates are commutative sums; the trace stays deterministic
+       because only messages towards the single node [i] are purged, and
+       they are recorded in bucket-list order within each round bucket
+       visited. *)
+    let purged = ref [] in
     (* bwclint: allow no-unordered-hashtbl-iter *)
     Hashtbl.filter_map_inplace
-      (fun _ waiting ->
+      (fun due waiting ->
         let keep, drop = List.partition (fun (dst, _, _) -> dst <> i) waiting in
         t.flying <- t.flying - List.length drop;
-        t.dropped <- t.dropped + List.length drop;
+        List.iter (fun (dst, src, _) -> purged := (due, dst, src) :: !purged) drop;
         if keep = [] then None else Some keep)
       t.in_flight;
+    List.iter
+      (fun (_, dst, src) -> record_drop t ~src ~dst Purge)
+      (List.sort compare !purged);
     Queue.clear t.inbox.(i)
   end
 
@@ -81,7 +129,12 @@ let is_active t i =
 let active_count t = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 t.active
 
 let clear_in_flight t =
-  t.dropped <- t.dropped + t.flying;
+  (* purge everything, oldest delivery round first so the trace is
+     deterministic *)
+  Bwc_stats.Tbl.iter_sorted
+    (fun _ waiting ->
+      List.iter (fun (dst, src, _) -> record_drop t ~src ~dst Purge) (List.rev waiting))
+    t.in_flight;
   t.flying <- 0;
   Hashtbl.reset t.in_flight;
   Array.iter Queue.clear t.inbox
@@ -91,11 +144,19 @@ let run_round t ~step =
      sends during the round are stamped with the new time, so a 1-round
      delay reproduces the classic "visible next round" model. *)
   t.round <- t.round + 1;
+  Registry.Counter.incr t.c_rounds;
+  emit t (Trace.Round_start { round = t.round });
   (* scripted crash/restart windows fire at the round boundary, before
      delivery: a node crashing this round loses its in-flight traffic, a
      node restarting this round receives traffic due now *)
   List.iter
-    (fun (node, up) -> if node >= 0 && node < t.n then set_active t node up)
+    (fun (node, up) ->
+      if node >= 0 && node < t.n then begin
+        emit t
+          (if up then Trace.Restart { round = t.round; node }
+           else Trace.Crash { round = t.round; node });
+        set_active t node up
+      end)
     (Fault.crashes_at t.faults t.round);
   let delivered = ref 0 in
   (match Hashtbl.find_opt t.in_flight t.round with
@@ -106,9 +167,11 @@ let run_round t ~step =
           t.flying <- t.flying - 1;
           if t.active.(dst) then begin
             Queue.add (src, msg) t.inbox.(dst);
+            Registry.Counter.incr t.c_delivered;
+            emit t (Trace.Deliver { round = t.round; src; dst });
             incr delivered
           end
-          else t.dropped <- t.dropped + 1)
+          else record_drop t ~src ~dst Dead_dst)
         (List.rev waiting)
   | None -> ());
   let order = Rng.permutation t.rng t.n in
@@ -121,15 +184,24 @@ let run_round t ~step =
         if step i msgs then changed := true
       end)
     order;
+  Registry.Gauge.set t.g_in_flight t.flying;
   !changed || !delivered > 0 || t.flying > 0
 
 let run_until_stable t ~max_rounds ~step =
   let rec loop r =
     if r >= max_rounds then `Max_rounds
     else if run_round t ~step then loop (r + 1)
-    else `Stable (r + 1)
+    else begin
+      emit t (Trace.Quiesce { round = t.round });
+      `Stable (r + 1)
+    end
   in
   loop 0
 
-let messages_sent t = t.sent
-let dropped t = t.dropped
+let messages_sent t = Registry.Counter.value t.c_sent
+let delivered t = Registry.Counter.value t.c_delivered
+let dropped_by t cause = Registry.Counter.value (drop_counter t cause)
+
+let dropped t =
+  dropped_by t Fault_loss + dropped_by t Partition + dropped_by t Dead_dst
+  + dropped_by t Purge

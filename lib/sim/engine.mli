@@ -9,13 +9,30 @@
 
     An optional {!Fault} plan injects unreliable-network behaviour:
     message loss, duplication, jittered (reordering) delays, scripted
-    link partitions, and node crash/restart windows. *)
+    link partitions, and node crash/restart windows.
+
+    Observability: every engine owns (or shares, via [?metrics]) a
+    {!Bwc_obs.Registry} holding [engine.msgs_sent],
+    [engine.msgs_delivered], [engine.rounds], the [engine.in_flight]
+    gauge and the cause-labelled [engine.drops{cause=...}] counters, and
+    can stream typed events to a {!Bwc_obs.Trace} sink.  Both are
+    clocked by the simulation round, never wall time, and neither path
+    touches any RNG — instrumentation cannot perturb a run. *)
+
+type drop_cause = Bwc_obs.Trace.drop_cause =
+  | Fault_loss  (** lost by the fault plan's stochastic drop at send time *)
+  | Partition  (** blocked by a scripted partition at send time *)
+  | Dead_dst  (** destination inactive at delivery time *)
+  | Purge
+      (** discarded in flight by {!set_active} [false] or {!clear_in_flight} *)
 
 type 'msg t
 
 val create :
   ?faults:Fault.t ->
   ?edge_delay:(src:int -> dst:int -> int) ->
+  ?metrics:Bwc_obs.Registry.t ->
+  ?trace:Bwc_obs.Trace.t ->
   rng:Bwc_stats.Rng.t ->
   int ->
   'msg t
@@ -25,7 +42,10 @@ val create :
     keeps links FIFO; values below 1 are clamped to 1.  [faults]
     (default {!Fault.none}) is consulted on every send and at every
     round boundary; fault jitter {e does} reorder messages, so protocols
-    running under a jittering plan must tolerate non-FIFO links. *)
+    running under a jittering plan must tolerate non-FIFO links.
+    [metrics] shares a registry with the rest of the stack (a private
+    one is allocated when omitted); [trace] enables structured event
+    emission (off when omitted). *)
 
 val n : 'msg t -> int
 val round : 'msg t -> int
@@ -35,24 +55,28 @@ val faults : 'msg t -> Fault.t
 (** The fault plan the engine was created with ({!Fault.none} when no
     plan was given). *)
 
+val metrics : 'msg t -> Bwc_obs.Registry.t
+(** The registry holding the engine's counters (the [?metrics] argument
+    of {!create}, or the engine's private registry). *)
+
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 (** Enqueues for delivery next round.  The sender cannot observe the
     destination's liveness: the message is enqueued even when the
     destination is currently down, and dropped at {e delivery} time if
-    the destination is down then (counted in {!dropped}).  The fault
+    the destination is down then (counted under [Dead_dst]).  The fault
     plan may lose, duplicate or further delay the message. *)
 
 val set_active : 'msg t -> int -> bool -> unit
 (** Deactivating a node drops its queued inbox and everything in flight
-    towards it (a crash loses undelivered traffic); traffic sent while
-    it is down is delivered only if it is active again by delivery
-    time. *)
+    towards it (a crash loses undelivered traffic, counted under
+    [Purge]); traffic sent while it is down is delivered only if it is
+    active again by delivery time. *)
 
 val is_active : 'msg t -> int -> bool
 val active_count : 'msg t -> int
 
 val clear_in_flight : 'msg t -> unit
-(** Drops every undelivered message (counted in {!dropped}).  Used when
+(** Drops every undelivered message (counted under [Purge]).  Used when
     the overlay is rebuilt and in-flight traffic belongs to a dead
     topology. *)
 
@@ -68,7 +92,17 @@ val run_until_stable :
   'msg t -> max_rounds:int -> step:(int -> (int * 'msg) list -> bool) ->
   [ `Stable of int | `Max_rounds ]
 (** Runs rounds until one reports no change (returns how many rounds ran),
-    or gives up after [max_rounds]. *)
+    or gives up after [max_rounds].  Emits a [Quiesce] trace event when
+    the system stabilises. *)
 
 val messages_sent : 'msg t -> int
+(** [engine.msgs_sent]. *)
+
+val delivered : 'msg t -> int
+(** Messages handed to an active destination ([engine.msgs_delivered]). *)
+
+val dropped_by : 'msg t -> drop_cause -> int
+(** One cause's [engine.drops{cause=...}] counter. *)
+
 val dropped : 'msg t -> int
+(** Total drops, summed over every cause. *)

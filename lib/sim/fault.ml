@@ -1,4 +1,5 @@
 module Rng = Bwc_stats.Rng
+module Registry = Bwc_obs.Registry
 
 type partition = {
   starts : int;
@@ -19,13 +20,14 @@ type t = {
   jitter : int;
   partitions : partition list;
   transitions : (int, (int * bool) list) Hashtbl.t; (* round -> (node, up) *)
-  mutable lost : int;
-  mutable duplicated : int;
-  mutable delayed : int;
-  mutable partition_dropped : int;
+  metrics : Registry.t;
+  c_lost : Registry.Counter.t;
+  c_duplicated : Registry.Counter.t;
+  c_delayed : Registry.Counter.t;
+  c_partition_dropped : Registry.Counter.t;
 }
 
-let make ~rng ~drop ~duplicate ~jitter ~partitions ~crashes =
+let make ?metrics ~rng ~drop ~duplicate ~jitter ~partitions ~crashes () =
   if drop < 0.0 || drop > 1.0 then invalid_arg "Fault.create: drop not in [0,1]";
   if duplicate < 0.0 || duplicate > 1.0 then
     invalid_arg "Fault.create: duplicate not in [0,1]";
@@ -49,6 +51,7 @@ let make ~rng ~drop ~duplicate ~jitter ~partitions ~crashes =
       let evs = List.rev evs in
       Some (List.filter (fun (_, up) -> not up) evs @ List.filter snd evs))
     transitions;
+  let metrics = match metrics with Some m -> m | None -> Registry.create () in
   {
     rng;
     drop;
@@ -56,19 +59,20 @@ let make ~rng ~drop ~duplicate ~jitter ~partitions ~crashes =
     jitter;
     partitions;
     transitions;
-    lost = 0;
-    duplicated = 0;
-    delayed = 0;
-    partition_dropped = 0;
+    metrics;
+    c_lost = Registry.counter metrics "fault.lost";
+    c_duplicated = Registry.counter metrics "fault.duplicated";
+    c_delayed = Registry.counter metrics "fault.delayed";
+    c_partition_dropped = Registry.counter metrics "fault.partition_dropped";
   }
 
 let none =
   make ~rng:(Rng.create 0) ~drop:0.0 ~duplicate:0.0 ~jitter:0 ~partitions:[]
-    ~crashes:[]
+    ~crashes:[] ()
 
 let create ?(drop = 0.0) ?(duplicate = 0.0) ?(jitter = 0) ?(partitions = [])
-    ?(crashes = []) ~rng () =
-  make ~rng ~drop ~duplicate ~jitter ~partitions ~crashes
+    ?(crashes = []) ?metrics ~rng () =
+  make ?metrics ~rng ~drop ~duplicate ~jitter ~partitions ~crashes ()
 
 let isolate ~starts ~heals ~group =
   let inside = Hashtbl.create (Stdlib.max 1 (List.length group)) in
@@ -90,22 +94,22 @@ type verdict =
 
 let on_send t ~round ~src ~dst =
   if partitioned t ~round ~src ~dst then begin
-    t.partition_dropped <- t.partition_dropped + 1;
+    Registry.Counter.incr t.c_partition_dropped;
     Blocked `Partition
   end
   else if sample_loss t then begin
-    t.lost <- t.lost + 1;
+    Registry.Counter.incr t.c_lost;
     Blocked `Loss
   end
   else begin
     let jitter_of () =
       let j = sample_jitter t in
-      if j > 0 then t.delayed <- t.delayed + 1;
+      if j > 0 then Registry.Counter.incr t.c_delayed;
       j
     in
     let first = jitter_of () in
     if t.duplicate > 0.0 && Rng.float t.rng 1.0 < t.duplicate then begin
-      t.duplicated <- t.duplicated + 1;
+      Registry.Counter.incr t.c_duplicated;
       Deliver [ first; jitter_of () ]
     end
     else Deliver [ first ]
@@ -114,7 +118,8 @@ let on_send t ~round ~src ~dst =
 let crashes_at t round =
   Option.value ~default:[] (Hashtbl.find_opt t.transitions round)
 
-let lost t = t.lost
-let duplicated t = t.duplicated
-let delayed t = t.delayed
-let partition_dropped t = t.partition_dropped
+let metrics t = t.metrics
+let lost t = Registry.Counter.value t.c_lost
+let duplicated t = Registry.Counter.value t.c_duplicated
+let delayed t = Registry.Counter.value t.c_delayed
+let partition_dropped t = Registry.Counter.value t.c_partition_dropped

@@ -37,6 +37,7 @@ val create :
   ?jitter:int ->
   ?partitions:partition list ->
   ?crashes:crash list ->
+  ?metrics:Bwc_obs.Registry.t ->
   rng:Bwc_stats.Rng.t ->
   unit ->
   t
@@ -44,7 +45,11 @@ val create :
     probability a delivered message is enqueued twice (the copy gets an
     independent jitter), [jitter] the maximum extra delivery delay in
     rounds (uniform in [0, jitter]; non-zero draws break link FIFO-ness,
-    i.e. reorder messages).  Probabilities outside [0, 1] are rejected. *)
+    i.e. reorder messages).  Probabilities outside [0, 1] are rejected.
+    [metrics] is the registry the injection counters live in
+    ([fault.lost], [fault.duplicated], [fault.delayed],
+    [fault.partition_dropped]); a private registry is allocated when
+    omitted, so the counters always exist. *)
 
 val isolate : starts:int -> heals:int -> group:int list -> partition
 (** A partition cutting every link between [group] and the rest of the
@@ -74,7 +79,18 @@ val crashes_at : t -> int -> (int * bool) list
 
 (** {2 Injection counters} *)
 
+val metrics : t -> Bwc_obs.Registry.t
+(** The registry holding the injection counters (the [?metrics] argument
+    of {!create}, or the plan's private registry). *)
+
 val lost : t -> int
+(** Messages lost to stochastic drop ([fault.lost]). *)
+
 val duplicated : t -> int
+(** Messages enqueued twice ([fault.duplicated]). *)
+
 val delayed : t -> int
+(** Copies given a non-zero jitter ([fault.delayed]). *)
+
 val partition_dropped : t -> int
+(** Messages blocked by a scripted partition ([fault.partition_dropped]). *)

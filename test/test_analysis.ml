@@ -66,6 +66,22 @@ let test_no_print_in_lib () =
   check_single_finding "exit in lib" ~rule:"no-print-in-lib"
     "let f () = exit 1\n"
 
+let test_no_wall_clock_in_lib () =
+  check_single_finding "Unix.gettimeofday in lib" ~rule:"no-wall-clock-in-lib"
+    "let now () = Unix.gettimeofday ()\n";
+  check_single_finding "Sys.time in lib" ~rule:"no-wall-clock-in-lib"
+    "let cpu () = Sys.time ()\n";
+  (* span.ml is the audited wall-clock reader *)
+  Alcotest.(check (list string))
+    "span.ml exempt" []
+    (rule_ids
+       (lint ~path:"lib/obs/span.ml" "let now () = Unix.gettimeofday ()\n"));
+  (* wall time outside lib/ is fine *)
+  Alcotest.(check (list string))
+    "bench may time" []
+    (rule_ids
+       (lint ~path:"bench/fixture.ml" "let now () = Unix.gettimeofday ()\n"))
+
 let test_naked_failwith () =
   check_single_finding "unprefixed failwith" ~rule:"naked-failwith"
     "let f () = failwith \"boom\"\n";
@@ -206,6 +222,7 @@ let test_rule_catalog_complete () =
       "no-partial-stdlib";
       "no-quadratic-append";
       "no-print-in-lib";
+      "no-wall-clock-in-lib";
       "naked-failwith";
       "no-obj-magic";
     ]
@@ -223,6 +240,7 @@ let () =
           Alcotest.test_case "no-partial-stdlib" `Quick test_no_partial_stdlib;
           Alcotest.test_case "no-quadratic-append" `Quick test_no_quadratic_append;
           Alcotest.test_case "no-print-in-lib" `Quick test_no_print_in_lib;
+          Alcotest.test_case "no-wall-clock-in-lib" `Quick test_no_wall_clock_in_lib;
           Alcotest.test_case "naked-failwith" `Quick test_naked_failwith;
           Alcotest.test_case "no-obj-magic" `Quick test_no_obj_magic;
           Alcotest.test_case "clean fixture" `Quick test_clean;

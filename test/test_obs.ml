@@ -1,0 +1,324 @@
+(* Tests for bwc_obs: registry semantics (handles, snapshots, diff,
+   JSON round-trip), trace sinks (ordering, ring capacity, JSONL), span
+   timers, and the end-to-end determinism contract — the same seed and
+   fault plan must produce a byte-identical JSONL trace. *)
+
+module Registry = Bwc_obs.Registry
+module Trace = Bwc_obs.Trace
+module Span = Bwc_obs.Span
+module Rng = Bwc_stats.Rng
+module Engine = Bwc_sim.Engine
+module Fault = Bwc_sim.Fault
+
+(* ----- registry: handles ----- *)
+
+let test_counter_basics () =
+  let r = Registry.create () in
+  let c = Registry.counter r "a.count" in
+  Registry.Counter.incr c;
+  Registry.Counter.incr ~by:4 c;
+  Alcotest.(check int) "value" 5 (Registry.Counter.value c);
+  (* get-or-create: the same (name, labels) returns the same cell *)
+  let c' = Registry.counter r "a.count" in
+  Registry.Counter.incr c';
+  Alcotest.(check int) "shared cell" 6 (Registry.Counter.value c);
+  Alcotest.check_raises "negative increment"
+    (Invalid_argument "Registry.Counter.incr: negative increment") (fun () ->
+      Registry.Counter.incr ~by:(-1) c)
+
+let test_labels_normalized () =
+  let r = Registry.create () in
+  let a = Registry.counter r ~labels:[ ("x", "1"); ("y", "2") ] "m" in
+  let b = Registry.counter r ~labels:[ ("y", "2"); ("x", "1") ] "m" in
+  Registry.Counter.incr a;
+  Alcotest.(check int) "label order irrelevant" 1 (Registry.Counter.value b);
+  let c = Registry.counter r ~labels:[ ("x", "2") ] "m" in
+  Registry.Counter.incr ~by:7 c;
+  Alcotest.(check int) "distinct labels distinct cells" 1 (Registry.Counter.value a)
+
+let test_type_mismatch () =
+  let r = Registry.create () in
+  let (_ : Registry.Counter.t) = Registry.counter r "m" in
+  Alcotest.check_raises "counter reopened as gauge"
+    (Invalid_argument "Registry.gauge: m already registered with a different type")
+    (fun () -> ignore (Registry.gauge r "m"))
+
+let test_gauge () =
+  let r = Registry.create () in
+  let g = Registry.gauge r "g" in
+  Registry.Gauge.set g 10;
+  Registry.Gauge.add g (-3);
+  Alcotest.(check int) "set/add" 7 (Registry.Gauge.value g)
+
+let test_histogram_buckets () =
+  let r = Registry.create () in
+  let h = Registry.histogram r "h" in
+  List.iter (Registry.Histogram.observe h) [ 0; 1; 2; 3; 4; 1000 ];
+  Alcotest.(check int) "count" 6 (Registry.Histogram.count h);
+  Alcotest.(check int) "sum" 1010 (Registry.Histogram.sum h);
+  Alcotest.(check int) "max" 1000 (Registry.Histogram.max_value h);
+  (* bucket 0 = {0}, bucket i >= 1 = [2^(i-1), 2^i) *)
+  Alcotest.(check (pair int int)) "bucket 0" (0, 0) (Registry.Histogram.bucket_bounds 0);
+  Alcotest.(check (pair int int)) "bucket 1" (1, 1) (Registry.Histogram.bucket_bounds 1);
+  Alcotest.(check (pair int int)) "bucket 3" (4, 7) (Registry.Histogram.bucket_bounds 3);
+  (match Registry.find (Registry.snapshot r) "h" with
+  | Some (Registry.Histogram { buckets; _ }) ->
+      Alcotest.(check (list (pair int int)))
+        "buckets" [ (0, 1); (1, 1); (2, 2); (3, 1); (10, 1) ] buckets
+  | _ -> Alcotest.fail "histogram sample expected");
+  Alcotest.check_raises "negative sample"
+    (Invalid_argument "Registry.Histogram.observe: negative sample") (fun () ->
+      Registry.Histogram.observe h (-1))
+
+(* ----- registry: snapshots ----- *)
+
+let sample_registry () =
+  let r = Registry.create () in
+  Registry.Counter.incr ~by:3 (Registry.counter r "z.count");
+  Registry.Counter.incr
+    (Registry.counter r ~labels:[ ("cause", "loss") ] "a.drops");
+  Registry.Counter.incr ~by:2
+    (Registry.counter r ~labels:[ ("cause", "purge") ] "a.drops");
+  Registry.Gauge.set (Registry.gauge r "g.depth") 4;
+  let h = Registry.histogram r "q.hops" in
+  List.iter (Registry.Histogram.observe h) [ 0; 2; 5 ];
+  r
+
+let test_snapshot_sorted () =
+  let snap = Registry.snapshot (sample_registry ()) in
+  let names = List.map (fun (n, _, _) -> n) snap in
+  Alcotest.(check (list string))
+    "sorted by (name, labels)"
+    [ "a.drops"; "a.drops"; "g.depth"; "q.hops"; "z.count" ]
+    names;
+  Alcotest.(check int) "labelled get" 2
+    (Registry.get snap ~labels:[ ("cause", "purge") ] "a.drops");
+  Alcotest.(check int) "sum over labels" 3 (Registry.sum_by_name snap "a.drops");
+  Alcotest.(check int) "absent metric reads 0" 0 (Registry.get snap "nope")
+
+let test_diff_and_reset () =
+  let r = Registry.create () in
+  let c = Registry.counter r "c" in
+  let g = Registry.gauge r "g" in
+  let h = Registry.histogram r "h" in
+  Registry.Counter.incr ~by:5 c;
+  Registry.Gauge.set g 10;
+  Registry.Histogram.observe h 3;
+  let before = Registry.snapshot r in
+  Registry.Counter.incr ~by:2 c;
+  Registry.Gauge.set g 4;
+  Registry.Histogram.observe h 64;
+  let after = Registry.snapshot r in
+  let d = Registry.diff ~before ~after in
+  Alcotest.(check int) "counter delta" 2 (Registry.get d "c");
+  Alcotest.(check int) "gauge keeps after" 4 (Registry.get d "g");
+  (match Registry.find d "h" with
+  | Some (Registry.Histogram { count; sum; max_value; buckets }) ->
+      Alcotest.(check int) "hist count delta" 1 count;
+      Alcotest.(check int) "hist sum delta" 64 sum;
+      Alcotest.(check int) "hist max keeps after" 64 max_value;
+      Alcotest.(check (list (pair int int))) "hist bucket delta" [ (7, 1) ] buckets
+  | _ -> Alcotest.fail "histogram sample expected");
+  Registry.reset r;
+  Alcotest.(check int) "reset zeroes counters" 0 (Registry.Counter.value c);
+  Alcotest.(check int) "handles stay valid" 0 (Registry.Histogram.count h);
+  Registry.Counter.incr c;
+  Alcotest.(check int) "and keep working" 1 (Registry.Counter.value c)
+
+let test_json_round_trip () =
+  let snap = Registry.snapshot (sample_registry ()) in
+  let json = Registry.to_json snap in
+  (match Registry.of_json json with
+  | Ok parsed -> Alcotest.(check bool) "round-trips exactly" true (parsed = snap)
+  | Error e -> Alcotest.failf "of_json failed: %s" e);
+  (* canonical: re-rendering the parsed snapshot is byte-identical *)
+  (match Registry.of_json json with
+  | Ok parsed -> Alcotest.(check string) "canonical" json (Registry.to_json parsed)
+  | Error _ -> ());
+  match Registry.of_json "{\"metrics\":" with
+  | Ok _ -> Alcotest.fail "truncated JSON must not parse"
+  | Error _ -> ()
+
+let test_text_rendering () =
+  let text = Registry.to_text (Registry.snapshot (sample_registry ())) in
+  let has sub =
+    let n = String.length text and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "labelled counter line" true (has "a.drops{cause=purge} 2");
+  Alcotest.(check bool) "gauge line" true (has "g.depth 4 gauge");
+  Alcotest.(check bool) "histogram line" true (has "q.hops histogram count=3")
+
+(* ----- trace sink ----- *)
+
+let test_trace_order_and_jsonl () =
+  let tr = Trace.create () in
+  Trace.emit tr (Trace.Round_start { round = 1 });
+  Trace.emit tr (Trace.Send { round = 1; src = 0; dst = 2 });
+  Trace.emit tr (Trace.Drop { round = 1; src = 0; dst = 2; cause = Trace.Fault_loss });
+  Trace.emit tr (Trace.Quiesce { round = 2 });
+  Alcotest.(check int) "emitted" 4 (Trace.emitted tr);
+  Alcotest.(check int) "kept" 4 (List.length (Trace.events tr));
+  Alcotest.(check string) "jsonl"
+    "{\"ev\":\"round_start\",\"round\":1}\n\
+     {\"ev\":\"send\",\"round\":1,\"src\":0,\"dst\":2}\n\
+     {\"ev\":\"drop\",\"round\":1,\"src\":0,\"dst\":2,\"cause\":\"fault_loss\"}\n\
+     {\"ev\":\"quiesce\",\"round\":2}\n"
+    (Trace.to_jsonl tr);
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (List.length (Trace.events tr))
+
+let test_trace_ring_capacity () =
+  let tr = Trace.create ~capacity:3 () in
+  for round = 1 to 5 do
+    Trace.emit tr (Trace.Round_start { round })
+  done;
+  Alcotest.(check int) "emitted counts everything" 5 (Trace.emitted tr);
+  let rounds =
+    List.map
+      (function Trace.Round_start { round } -> round | _ -> -1)
+      (Trace.events tr)
+  in
+  Alcotest.(check (list int)) "ring keeps the newest" [ 3; 4; 5 ] rounds;
+  Alcotest.check_raises "capacity < 1 rejected"
+    (Invalid_argument "Trace.create: capacity < 1") (fun () ->
+      ignore (Trace.create ~capacity:0 ()))
+
+(* ----- determinism: same seed + fault plan => byte-identical trace ----- *)
+
+let engine_scenario () =
+  let trace = Trace.create () in
+  let metrics = Registry.create () in
+  let faults =
+    Fault.create ~drop:0.2 ~duplicate:0.1 ~jitter:2
+      ~crashes:[ { Fault.node = 3; down_from = 2; up_at = 4 } ]
+      ~metrics ~rng:(Rng.create 42) ()
+  in
+  let e = Engine.create ~faults ~metrics ~trace ~rng:(Rng.create 43) 8 in
+  let source = Rng.create 44 in
+  let budget = ref 40 in
+  let (_ : [ `Stable of int | `Max_rounds ]) =
+    Engine.run_until_stable e ~max_rounds:100 ~step:(fun id _ ->
+        if !budget > 0 && id = 0 then begin
+          decr budget;
+          Engine.send e ~src:0 ~dst:(1 + Rng.int source 7) ();
+          true
+        end
+        else false)
+  in
+  (Trace.to_jsonl trace, Registry.to_json (Registry.snapshot metrics))
+
+let test_same_seed_identical_trace () =
+  let trace1, metrics1 = engine_scenario () in
+  let trace2, metrics2 = engine_scenario () in
+  Alcotest.(check string) "byte-identical JSONL trace" trace1 trace2;
+  Alcotest.(check string) "byte-identical metrics JSON" metrics1 metrics2;
+  Alcotest.(check bool) "trace is non-trivial" true (String.length trace1 > 500)
+
+let protocol_scenario () =
+  let space =
+    Bwc_metric.Space.of_dmatrix
+      (Bwc_dataset.Hier_tree.distance_matrix ~rng:(Rng.create 50) ~n:24 ())
+  in
+  let metrics = Registry.create () in
+  let trace = Trace.create () in
+  let faults = Fault.create ~drop:0.15 ~jitter:1 ~metrics ~rng:(Rng.create 51) () in
+  let ens = Bwc_predtree.Ensemble.build ~rng:(Rng.create 52) ~metrics space in
+  let classes = Bwc_core.Classes.make ~c:1000.0 [ 10.0; 20.0; 40.0 ] in
+  let p =
+    Bwc_core.Protocol.create ~rng:(Rng.create 53) ~n_cut:4 ~faults ~metrics ~trace
+      ~classes ens
+  in
+  let (_ : int) = Bwc_core.Protocol.run_aggregation p in
+  for at = 0 to 11 do
+    ignore (Bwc_core.Protocol.query p ~at ~k:3 ~cls:1)
+  done;
+  (Trace.to_jsonl trace, Registry.to_json (Registry.snapshot metrics))
+
+let test_protocol_trace_deterministic () =
+  let trace1, metrics1 = protocol_scenario () in
+  let trace2, metrics2 = protocol_scenario () in
+  Alcotest.(check string) "protocol trace byte-identical" trace1 trace2;
+  Alcotest.(check string) "protocol metrics byte-identical" metrics1 metrics2;
+  (* the scenario exercised the full event vocabulary worth checking *)
+  let has sub =
+    let n = String.length trace1 and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub trace1 i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "has sends" true (has "\"ev\":\"send\"");
+  Alcotest.(check bool) "has deliveries" true (has "\"ev\":\"deliver\"");
+  Alcotest.(check bool) "has fault drops" true (has "\"cause\":\"fault_loss\"");
+  Alcotest.(check bool) "has retransmits" true (has "\"ev\":\"retransmit\"");
+  Alcotest.(check bool) "has quiesce" true (has "\"ev\":\"quiesce\"")
+
+let test_instrumentation_is_transparent () =
+  (* the same protocol seeds with and without a trace sink / shared
+     registry must produce the same message totals: observability cannot
+     perturb the run *)
+  let build observed =
+    let space =
+      Bwc_metric.Space.of_dmatrix
+        (Bwc_dataset.Hier_tree.distance_matrix ~rng:(Rng.create 60) ~n:20 ())
+    in
+    let metrics = if observed then Some (Registry.create ()) else None in
+    let trace = if observed then Some (Trace.create ()) else None in
+    let ens = Bwc_predtree.Ensemble.build ~rng:(Rng.create 61) ?metrics space in
+    let classes = Bwc_core.Classes.make ~c:1000.0 [ 10.0; 20.0; 40.0 ] in
+    let p =
+      Bwc_core.Protocol.create ~rng:(Rng.create 62) ~n_cut:4 ?metrics ?trace
+        ~classes ens
+    in
+    let rounds = Bwc_core.Protocol.run_aggregation p in
+    (rounds, Bwc_core.Protocol.messages_sent p)
+  in
+  Alcotest.(check (pair int int))
+    "identical rounds and messages" (build false) (build true)
+
+(* ----- span timers ----- *)
+
+let test_span () =
+  let s = Span.create "work" in
+  Alcotest.(check string) "name" "work" (Span.name s);
+  let v = Span.time s (fun () -> 41 + 1) in
+  Alcotest.(check int) "passes result through" 42 v;
+  (try Span.time s (fun () -> raise Exit) with Exit -> ());
+  Alcotest.(check int) "counts timings, also on exception" 2 (Span.count s);
+  Alcotest.(check bool) "total >= max" true (Span.total_s s >= Span.max_s s);
+  Alcotest.(check bool) "mean <= max" true (Span.mean_s s <= Span.max_s s);
+  Span.reset s;
+  Alcotest.(check int) "reset" 0 (Span.count s);
+  Alcotest.(check (float 0.0)) "reset total" 0.0 (Span.total_s s)
+
+let () =
+  Alcotest.run "bwc_obs"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counter basics" `Quick test_counter_basics;
+          Alcotest.test_case "labels normalized" `Quick test_labels_normalized;
+          Alcotest.test_case "type mismatch" `Quick test_type_mismatch;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "snapshot sorted" `Quick test_snapshot_sorted;
+          Alcotest.test_case "diff and reset" `Quick test_diff_and_reset;
+          Alcotest.test_case "json round-trip" `Quick test_json_round_trip;
+          Alcotest.test_case "text rendering" `Quick test_text_rendering;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "order and jsonl" `Quick test_trace_order_and_jsonl;
+          Alcotest.test_case "ring capacity" `Quick test_trace_ring_capacity;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "engine trace byte-identical" `Quick
+            test_same_seed_identical_trace;
+          Alcotest.test_case "protocol trace byte-identical" `Quick
+            test_protocol_trace_deterministic;
+          Alcotest.test_case "instrumentation transparent" `Quick
+            test_instrumentation_is_transparent;
+        ] );
+      ("span", [ Alcotest.test_case "span timing" `Quick test_span ]);
+    ]

@@ -105,6 +105,10 @@ let test_engine_inactive_nodes_drop () =
         false)
   in
   Alcotest.(check int) "dropped at delivery" 1 (Engine.dropped e);
+  Alcotest.(check int) "attributed to the dead destination" 1
+    (Engine.dropped_by e Engine.Dead_dst);
+  Alcotest.(check int) "no other causes" 0
+    (Engine.dropped_by e Engine.Fault_loss + Engine.dropped_by e Engine.Purge);
   Alcotest.(check bool) "inactive not stepped" false (List.mem 2 !stepped);
   Alcotest.(check int) "active count" 2 (Engine.active_count e)
 
@@ -157,7 +161,8 @@ let test_engine_reactivation () =
   in
   Alcotest.(check (list string)) "crash loses only in-flight traffic"
     [ "in transit"; "delivered" ] !got;
-  Alcotest.(check int) "purge counted" 1 (Engine.dropped e)
+  Alcotest.(check int) "purge counted" 1 (Engine.dropped e);
+  Alcotest.(check int) "attributed to the purge" 1 (Engine.dropped_by e Engine.Purge)
 
 let test_engine_delayed_delivery () =
   (* a 3-round edge delivers exactly at +3 rounds, FIFO *)
@@ -203,7 +208,8 @@ let test_engine_message_conservation () =
   | `Stable _ -> ()
   | `Max_rounds -> Alcotest.fail "must quiesce");
   Alcotest.(check int) "all delivered" (Engine.messages_sent e - Engine.dropped e)
-    !received
+    !received;
+  Alcotest.(check int) "delivered counter agrees" (Engine.delivered e) !received
 
 (* ----- Fault injection ----- *)
 
@@ -224,6 +230,8 @@ let test_fault_drop_all () =
   Alcotest.(check int) "nothing delivered" 0 !got;
   Alcotest.(check int) "losses counted by the plan" 2 (Fault.lost faults);
   Alcotest.(check int) "losses counted by the engine" 2 (Engine.dropped e);
+  Alcotest.(check int) "attributed to fault loss" 2
+    (Engine.dropped_by e Engine.Fault_loss);
   Alcotest.(check int) "sends still counted" 2 (Engine.messages_sent e)
 
 let test_fault_duplicate_all () =
@@ -283,6 +291,8 @@ let test_fault_partition_window () =
   let (_ : bool) = Engine.run_round e ~step in
   Alcotest.(check (list string)) "only post-heal traffic" [ "healed" ] !got;
   Alcotest.(check int) "partition drops counted" 2 (Fault.partition_dropped faults);
+  Alcotest.(check int) "attributed to the partition" 2
+    (Engine.dropped_by e Engine.Partition);
   Alcotest.(check bool) "link cut during the window" true
     (Fault.partitioned faults ~round:1 ~src:0 ~dst:1);
   Alcotest.(check bool) "link restored after the window" false
@@ -310,7 +320,12 @@ let test_fault_crash_schedule () =
   Alcotest.(check bool) "restarted" true (Engine.is_active e 1);
   Alcotest.(check (list string)) "traffic due at restart is received"
     [ "arrives at restart" ] !got;
-  Alcotest.(check int) "crash losses counted" 2 (Engine.dropped e)
+  Alcotest.(check int) "crash losses counted" 2 (Engine.dropped e);
+  (* the copy in flight at the crash is purged; the copy sent while the
+     node was down is dropped at delivery time *)
+  Alcotest.(check int) "in-flight copy purged" 1 (Engine.dropped_by e Engine.Purge);
+  Alcotest.(check int) "while-down copy dropped at delivery" 1
+    (Engine.dropped_by e Engine.Dead_dst)
 
 let test_fault_same_seed_deterministic () =
   let run seed =
