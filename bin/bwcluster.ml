@@ -202,7 +202,7 @@ let routing_cmd =
 
 (* ----- robustness under faults (E12) ----- *)
 
-let robustness seed full dataset hosts csv =
+let robustness seed full dataset hosts recover csv =
   (match hosts with
   | Some h when h < 2 ->
       Format.eprintf "bwcluster: --hosts must be at least 2@.";
@@ -215,18 +215,30 @@ let robustness seed full dataset hosts csv =
         Bwc_dataset.Dataset.random_subset ds ~rng:(Bwc_stats.Rng.create seed) h
     | _ -> ds
   in
-  let drops, crash_rates, queries =
-    if full then ([ 0.0; 0.05; 0.1; 0.2; 0.3 ], [ 0.0; 0.1; 0.2 ], 200)
-    else ([ 0.0; 0.1; 0.2 ], [ 0.0; 0.15 ], 60)
-  in
-  let out = Bwc_experiments.Robustness.run ~drops ~crash_rates ~queries ~seed ds in
-  Bwc_experiments.Robustness.print out;
-  maybe_csv csv Bwc_experiments.Robustness.save_csv out
+  if recover then begin
+    let victim_counts, queries =
+      if full then ([ 1; 2; 3; 4 ], 200) else ([ 1; 2 ], 60)
+    in
+    let out = Bwc_experiments.Robustness.recovery ~victim_counts ~queries ~seed ds in
+    Bwc_experiments.Robustness.print_recovery out;
+    maybe_csv csv Bwc_experiments.Robustness.save_recovery_csv out
+  end
+  else begin
+    let drops, crash_rates, queries =
+      if full then ([ 0.0; 0.05; 0.1; 0.2; 0.3 ], [ 0.0; 0.1; 0.2 ], 200)
+      else ([ 0.0; 0.1; 0.2 ], [ 0.0; 0.15 ], 60)
+    in
+    let out = Bwc_experiments.Robustness.run ~drops ~crash_rates ~queries ~seed ds in
+    Bwc_experiments.Robustness.print out;
+    maybe_csv csv Bwc_experiments.Robustness.save_csv out
+  end
 
 let robustness_cmd =
   let doc =
     "Robustness: aggregation fixed point and query recall under message loss, \
-     duplication, jitter and crash/restart windows."
+     duplication, jitter and crash/restart windows.  With $(b,--recovery), \
+     the E13 crash-recovery comparison instead: detector-driven incremental \
+     self-healing vs oracle eviction with full re-propagation."
   in
   let hosts =
     Arg.(
@@ -235,9 +247,19 @@ let robustness_cmd =
       & info [ "hosts" ] ~docv:"N"
           ~doc:"Restrict the dataset to a random N-host subset (smoke runs).")
   in
+  let recover =
+    Arg.(
+      value & flag
+      & info [ "recovery" ]
+          ~doc:
+            "Run the crash-recovery experiment (failure detection, \
+             self-healing repair, messages saved vs full stabilization).")
+  in
   Cmd.v
     (Cmd.info "robustness" ~doc)
-    Term.(const robustness $ seed_arg $ full_arg $ dataset_arg $ hosts $ csv_arg)
+    Term.(
+      const robustness $ seed_arg $ full_arg $ dataset_arg $ hosts $ recover
+      $ csv_arg)
 
 (* ----- dynamic membership demo ----- *)
 

@@ -71,9 +71,9 @@ let run_scenario t ~churn ~rounds ~on_round =
   done
 
 let query ?at t ~k ~b =
-  let at =
-    match at with
-    | Some a -> a
-    | None -> Rng.choose t.rng (Array.of_list (members t))
-  in
-  Protocol.query_bandwidth t.protocol ~at ~k ~b
+  (* [Rng.choose] rejects an empty array, and churn can empty the member
+     list — an empty system answers a miss, it does not crash *)
+  match at, members t with
+  | None, [] -> Query.no_members
+  | None, ms -> Protocol.query_bandwidth t.protocol ~at:(Rng.choose t.rng (Array.of_list ms)) ~k ~b
+  | Some at, _ -> Protocol.query_bandwidth t.protocol ~at ~k ~b

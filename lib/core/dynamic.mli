@@ -50,7 +50,9 @@ val run_scenario :
     queries). *)
 
 val query : ?at:int -> t -> k:int -> b:float -> Query.result
-(** Submits at a uniformly random current member by default. *)
+(** Submits at a uniformly random current member by default.  When the
+    member list is empty (churn removed everyone), answers
+    {!Query.no_members} instead of raising. *)
 
 val stabilize : t -> int
 (** Re-runs background aggregation until quiescent; returns rounds run.

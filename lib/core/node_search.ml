@@ -35,7 +35,11 @@ let local protocol ~at ~targets =
     let best = ref None in
     Array.iter
       (fun cand ->
-        if not (List.mem cand.Node_info.host target_hosts) then begin
+        if
+          (not (List.mem cand.Node_info.host target_hosts))
+          (* never hand out a host the local failure detector suspects *)
+          && not (Protocol.routing_suspects protocol ~at cand.Node_info.host)
+        then begin
           let radius =
             List.fold_left (fun acc s -> Float.max acc (Node_info.dist cand s)) 0.0 targets
           in

@@ -19,4 +19,6 @@ val local : Protocol.t -> at:int -> targets:Node_info.t list -> (int * float) op
 (** Decentralized approximation: the best candidate within the clustering
     space of host [at] (what a node can answer from local state).  The
     targets are given as node infos so distances are label-predicted.
-    Each call bumps [node_search.calls] in the protocol's registry. *)
+    Candidates the local failure detector suspects
+    ({!Protocol.routing_suspects}) are skipped.  Each call bumps
+    [node_search.calls] in the protocol's registry. *)

@@ -1,8 +1,11 @@
 module Ensemble = Bwc_predtree.Ensemble
+module Framework = Bwc_predtree.Framework
+module Anchor = Bwc_predtree.Anchor
 module Engine = Bwc_sim.Engine
 module Fault = Bwc_sim.Fault
 module Registry = Bwc_obs.Registry
 module Trace = Bwc_obs.Trace
+module Rng = Bwc_stats.Rng
 
 type payload = {
   prop_node : Node_info.t list;
@@ -16,27 +19,36 @@ let payload_equal a b =
 (* Updates carry a per-link sequence number so that receivers can discard
    duplicates and out-of-order copies (fault jitter breaks link FIFO-ness);
    acks echo the highest sequence seen so senders can retire their
-   retransmission state. *)
+   retransmission state.  Both additionally carry the link's repair epoch:
+   self-healing resets a link's state, and anything still in flight from
+   before the reset must not be applied against the fresh numbering.
+   Heartbeats carry nothing — they only renew failure-detector leases. *)
 type message =
-  | Update of { seq : int; payload : payload }
-  | Ack of { seq : int }
+  | Update of { epoch : int; seq : int; payload : payload }
+  | Ack of { epoch : int; seq : int }
+  | Heartbeat
 
 type out_entry = {
+  mutable epoch : int;
   mutable seq : int;
   mutable payload : payload;
   mutable sent_round : int;
+  mutable tries : int; (* retransmissions spent on the current seq *)
   mutable acked : bool;
+  mutable gave_up : bool; (* retired unacked after max_retransmits *)
 }
 
 type node = {
   id : int;
   info : Node_info.t;
-  neighbors : Node_info.t list;
+  mutable neighbors : Node_info.t list;
   aggr_node : (int, Node_info.t list) Hashtbl.t;    (* neighbor -> received propNode *)
   aggr_crt : (int, int array) Hashtbl.t;            (* neighbor -> received propCRT *)
   mutable own_row : int array;                      (* aggrCRT[self] *)
   out : (int, out_entry) Hashtbl.t;                 (* neighbor -> last update sent *)
   seen_seq : (int, int) Hashtbl.t;                  (* neighbor -> highest seq received *)
+  link_epoch : (int, int) Hashtbl.t;                (* neighbor -> link repair epoch *)
+  last_sent : (int, int) Hashtbl.t;                 (* neighbor -> round of last send *)
   mutable dirty : bool;
 }
 
@@ -45,14 +57,23 @@ type t = {
   classes : Classes.t;
   n_cut : int;
   resend_timeout : int;
+  max_retransmits : int;
   mutable nodes : node option array; (* indexed by host id; None = not a member *)
   engine : message Engine.t;
+  detector : Detector.t option;
   trace : Trace.t option;
   mutable rounds : int;
-  mutable unacked : int;             (* out entries awaiting an ack, system-wide *)
+  mutable epoch : int;               (* bumped by every repair round *)
+  mutable unacked : int;             (* live out entries awaiting an ack, system-wide *)
+  mutable step_changed : bool;       (* any node changed state this round *)
   c_retransmissions : Registry.Counter.t;
   c_dup_suppressed : Registry.Counter.t;
   c_stale_discarded : Registry.Counter.t;
+  c_give_up : Registry.Counter.t;
+  c_heartbeats : Registry.Counter.t;
+  c_epoch_discarded : Registry.Counter.t;
+  c_repairs : Registry.Counter.t;
+  c_regrafts : Registry.Counter.t;
   g_unacked : Registry.Gauge.t;
   h_query_hops : Registry.Histogram.t;
   c_query_retries : Registry.Counter.t;
@@ -75,6 +96,8 @@ let fresh_node fw classes host =
     own_row = Array.make (Classes.count classes) 1;
     out = Hashtbl.create 8;
     seen_seq = Hashtbl.create 8;
+    link_epoch = Hashtbl.create 8;
+    last_sent = Hashtbl.create 8;
     dirty = true;
   }
 
@@ -87,26 +110,58 @@ let sync_engine_active t =
     (fun h slot -> Engine.set_active t.engine h (slot <> None))
     t.nodes
 
-let create ~rng ?(n_cut = 10) ?edge_delay ?faults ?(resend_timeout = 3) ?metrics
-    ?trace ~classes fw =
+let watch_all t =
+  match t.detector with
+  | None -> ()
+  | Some d ->
+      let round = Engine.round t.engine in
+      Array.iter
+        (function
+          | Some node ->
+              List.iter
+                (fun nb ->
+                  Detector.watch d ~watcher:node.id ~peer:nb.Node_info.host ~round)
+                node.neighbors
+          | None -> ())
+        t.nodes
+
+let create ~rng ?(n_cut = 10) ?edge_delay ?faults ?(resend_timeout = 3)
+    ?(max_retransmits = 16) ?detector ?metrics ?trace ~classes fw =
   if n_cut < 1 then invalid_arg "Protocol.create: n_cut < 1";
   if resend_timeout < 1 then invalid_arg "Protocol.create: resend_timeout < 1";
+  if max_retransmits < 1 then invalid_arg "Protocol.create: max_retransmits < 1";
   let n = Ensemble.hosts fw in
   let metrics = match metrics with Some m -> m | None -> Registry.create () in
+  let detector =
+    (* the split keeps the engine's stream untouched relative to
+       detector-less runs only when no detector is requested *)
+    match detector with
+    | None -> None
+    | Some cfg -> Some (Detector.create ~metrics ?trace ~rng:(Rng.split rng) cfg)
+  in
   let t =
     {
       fw;
       classes;
       n_cut;
       resend_timeout;
+      max_retransmits;
       nodes = node_slots fw classes;
       engine = Engine.create ?edge_delay ?faults ~metrics ?trace ~rng n;
+      detector;
       trace;
       rounds = 0;
+      epoch = 0;
       unacked = 0;
+      step_changed = false;
       c_retransmissions = Registry.counter metrics "protocol.retransmissions";
       c_dup_suppressed = Registry.counter metrics "protocol.dup_suppressed";
       c_stale_discarded = Registry.counter metrics "protocol.stale_discarded";
+      c_give_up = Registry.counter metrics "protocol.give_up";
+      c_heartbeats = Registry.counter metrics "protocol.heartbeats";
+      c_epoch_discarded = Registry.counter metrics "protocol.epoch_discarded";
+      c_repairs = Registry.counter metrics "protocol.repairs";
+      c_regrafts = Registry.counter metrics "protocol.regrafts";
       g_unacked = Registry.gauge metrics "protocol.unacked";
       h_query_hops = Registry.histogram metrics "query.hops";
       c_query_retries = Registry.counter metrics "query.retries";
@@ -115,6 +170,7 @@ let create ~rng ?(n_cut = 10) ?edge_delay ?faults ?(resend_timeout = 3) ?metrics
     }
   in
   sync_engine_active t;
+  watch_all t;
   t
 
 let n t =
@@ -129,8 +185,19 @@ let n_cut t = t.n_cut
 let classes t = t.classes
 let framework t = t.fw
 let metrics t = Engine.metrics t.engine
+let detector t = t.detector
+let epoch t = t.epoch
 
 let emit t ev = match t.trace with Some tr -> Trace.emit tr ev | None -> ()
+
+let link_epoch_of node h =
+  Option.value ~default:0 (Hashtbl.find_opt node.link_epoch h)
+
+(* every protocol send renews the sender-side idle clock that gates
+   heartbeats, so heartbeats only fill genuinely silent gaps *)
+let send_msg t node ~dst msg =
+  Hashtbl.replace node.last_sent dst (Engine.round t.engine);
+  Engine.send t.engine ~src:node.id ~dst msg
 
 (* ----- local state recomputation (Algorithm 3, lines 3-8) ----- *)
 
@@ -215,29 +282,47 @@ let send_updates t node =
         }
       in
       let h = nb.Node_info.host in
+      let le = link_epoch_of node h in
       match Hashtbl.find_opt node.out h with
-      | Some entry when payload_equal entry.payload payload ->
+      | Some entry when entry.epoch = le && payload_equal entry.payload payload ->
           (* nothing new; if unacked the resend timer covers the loss *)
           ()
       | Some entry ->
-          entry.seq <- entry.seq + 1;
+          entry.seq <- (if entry.epoch = le then entry.seq + 1 else 0);
+          entry.epoch <- le;
           entry.payload <- payload;
           entry.sent_round <- now;
-          if entry.acked then begin
-            entry.acked <- false;
+          entry.tries <- 0;
+          if entry.gave_up then begin
+            (* fresh content revives a given-up link: the peer may only
+               have been unreachable, and the bound restarts per update *)
+            entry.gave_up <- false;
             t.unacked <- t.unacked + 1
-          end;
-          Engine.send t.engine ~src:node.id ~dst:h (Update { seq = entry.seq; payload })
+          end
+          else if entry.acked then t.unacked <- t.unacked + 1;
+          entry.acked <- false;
+          send_msg t node ~dst:h (Update { epoch = le; seq = entry.seq; payload })
       | None ->
           Hashtbl.replace node.out h
-            { seq = 0; payload; sent_round = now; acked = false };
+            {
+              epoch = le;
+              seq = 0;
+              payload;
+              sent_round = now;
+              tries = 0;
+              acked = false;
+              gave_up = false;
+            };
           t.unacked <- t.unacked + 1;
-          Engine.send t.engine ~src:node.id ~dst:h (Update { seq = 0; payload }))
+          send_msg t node ~dst:h (Update { epoch = le; seq = 0; payload }))
     node.neighbors
 
 (* Timeout-based retransmission: an unacked update is re-sent verbatim
-   every [resend_timeout] rounds until the receiver acknowledges it, so
-   the aggregation survives message loss and crash windows. *)
+   every [resend_timeout] rounds, so the aggregation survives message
+   loss and crash windows.  After [max_retransmits] fruitless tries the
+   sender gives up — the entry is retired from the unacked count (the
+   peer is presumed dead; quiescence must not hinge on it) but kept, so
+   any later sign of life from the peer revives it. *)
 let resend_pending t node =
   let now = Engine.round t.engine in
   (* sorted traversal: the send order decides in-flight FIFO order within
@@ -245,92 +330,283 @@ let resend_pending t node =
      nondeterminism into the protocol fixed point *)
   Bwc_stats.Tbl.iter_sorted
     (fun h entry ->
-      if (not entry.acked) && now - entry.sent_round >= t.resend_timeout then begin
-        entry.sent_round <- now;
-        Registry.Counter.incr t.c_retransmissions;
-        emit t (Trace.Retransmit { round = now; src = node.id; dst = h });
-        Engine.send t.engine ~src:node.id ~dst:h (Update { seq = entry.seq; payload = entry.payload })
-      end)
+      if
+        (not entry.acked)
+        && (not entry.gave_up)
+        && now - entry.sent_round >= t.resend_timeout
+      then
+        if entry.tries >= t.max_retransmits then begin
+          entry.gave_up <- true;
+          t.unacked <- t.unacked - 1;
+          Registry.Counter.incr t.c_give_up
+        end
+        else begin
+          entry.tries <- entry.tries + 1;
+          entry.sent_round <- now;
+          Registry.Counter.incr t.c_retransmissions;
+          emit t (Trace.Retransmit { round = now; src = node.id; dst = h });
+          send_msg t node ~dst:h
+            (Update { epoch = entry.epoch; seq = entry.seq; payload = entry.payload })
+        end)
     node.out
+
+(* a message from a peer we had given up on proves it alive: restore the
+   entry to the unacked pool and let the resend timer fire immediately *)
+let revive_given_up t node src =
+  match Hashtbl.find_opt node.out src with
+  | Some entry when entry.gave_up ->
+      entry.gave_up <- false;
+      entry.tries <- 0;
+      entry.sent_round <- Engine.round t.engine - t.resend_timeout;
+      t.unacked <- t.unacked + 1
+  | Some _ | None -> ()
+
+let send_heartbeats t node =
+  match t.detector with
+  | None -> ()
+  | Some d ->
+      let hb = (Detector.config d).Detector.heartbeat_every in
+      let now = Engine.round t.engine in
+      List.iter
+        (fun nb ->
+          let h = nb.Node_info.host in
+          let last =
+            Option.value ~default:(Stdlib.min_int / 2)
+              (Hashtbl.find_opt node.last_sent h)
+          in
+          if now - last >= hb then begin
+            Registry.Counter.incr t.c_heartbeats;
+            send_msg t node ~dst:h Heartbeat
+          end)
+        node.neighbors
 
 (* ----- round driver ----- *)
 
-let apply_update t node ~src ~seq payload =
-  let seen = Option.value ~default:(-1) (Hashtbl.find_opt node.seen_seq src) in
-  if seq < seen then begin
-    (* out-of-order copy superseded by something already applied *)
-    Registry.Counter.incr t.c_stale_discarded;
-    Engine.send t.engine ~src:node.id ~dst:src (Ack { seq = seen });
-    false
-  end
-  else if seq = seen then begin
-    (* duplicate: the aggregation merge is idempotent, so re-applying
-       must be a no-op — check that the stored state already equals the
-       payload, then just re-ack (the previous ack may have been lost) *)
-    Registry.Counter.incr t.c_dup_suppressed;
-    assert (
-      match Hashtbl.find_opt node.aggr_node src with
-      | Some prev -> List.compare Node_info.compare_host prev payload.prop_node = 0
-      | None -> false);
-    assert (
-      match Hashtbl.find_opt node.aggr_crt src with
-      | Some prev -> prev = payload.prop_crt
-      | None -> false);
-    Engine.send t.engine ~src:node.id ~dst:src (Ack { seq = seen });
+let is_neighbor node h =
+  List.exists (fun nb -> nb.Node_info.host = h) node.neighbors
+
+let apply_update t node ~src ~epoch ~seq payload =
+  if not (is_neighbor node src) then begin
+    (* in-flight leftover of a link self-healing already tore down *)
+    Registry.Counter.incr t.c_epoch_discarded;
     false
   end
   else begin
-    Hashtbl.replace node.seen_seq src seq;
-    Engine.send t.engine ~src:node.id ~dst:src (Ack { seq });
-    let node_diff =
-      match Hashtbl.find_opt node.aggr_node src with
-      | Some prev -> List.compare Node_info.compare_host prev payload.prop_node <> 0
-      | None -> true
-    in
-    if node_diff then Hashtbl.replace node.aggr_node src payload.prop_node;
-    let crt_diff =
-      match Hashtbl.find_opt node.aggr_crt src with
-      | Some prev -> prev <> payload.prop_crt
-      | None -> true
-    in
-    if crt_diff then Hashtbl.replace node.aggr_crt src payload.prop_crt;
-    node_diff || crt_diff
+    let link_e = link_epoch_of node src in
+    if epoch < link_e then begin
+      (* predates the link's last repair reset: the fresh numbering must
+         not be contaminated by the old epoch's sequence space *)
+      Registry.Counter.incr t.c_epoch_discarded;
+      false
+    end
+    else begin
+      if epoch > link_e then begin
+        (* the sender re-established the link first; adopt its epoch and
+           restart the per-link numbering *)
+        Hashtbl.replace node.link_epoch src epoch;
+        Hashtbl.remove node.seen_seq src
+      end;
+      let seen = Option.value ~default:(-1) (Hashtbl.find_opt node.seen_seq src) in
+      if seq < seen then begin
+        (* out-of-order copy superseded by something already applied *)
+        Registry.Counter.incr t.c_stale_discarded;
+        send_msg t node ~dst:src (Ack { epoch; seq = seen });
+        false
+      end
+      else if seq = seen then begin
+        (* duplicate: the aggregation merge is idempotent, so re-applying
+           must be a no-op — check that the stored state already equals the
+           payload, then just re-ack (the previous ack may have been lost) *)
+        Registry.Counter.incr t.c_dup_suppressed;
+        assert (
+          match Hashtbl.find_opt node.aggr_node src with
+          | Some prev -> List.compare Node_info.compare_host prev payload.prop_node = 0
+          | None -> false);
+        assert (
+          match Hashtbl.find_opt node.aggr_crt src with
+          | Some prev -> prev = payload.prop_crt
+          | None -> false);
+        send_msg t node ~dst:src (Ack { epoch; seq = seen });
+        false
+      end
+      else begin
+        Hashtbl.replace node.seen_seq src seq;
+        send_msg t node ~dst:src (Ack { epoch; seq });
+        let node_diff =
+          match Hashtbl.find_opt node.aggr_node src with
+          | Some prev -> List.compare Node_info.compare_host prev payload.prop_node <> 0
+          | None -> true
+        in
+        if node_diff then Hashtbl.replace node.aggr_node src payload.prop_node;
+        let crt_diff =
+          match Hashtbl.find_opt node.aggr_crt src with
+          | Some prev -> prev <> payload.prop_crt
+          | None -> true
+        in
+        if crt_diff then Hashtbl.replace node.aggr_crt src payload.prop_crt;
+        node_diff || crt_diff
+      end
+    end
   end
 
-let apply_ack t node ~src ~seq =
+let apply_ack t node ~src ~epoch ~seq =
   match Hashtbl.find_opt node.out src with
-  | Some entry when (not entry.acked) && seq = entry.seq ->
+  | Some entry when (not entry.acked) && epoch = entry.epoch && seq = entry.seq ->
       entry.acked <- true;
-      t.unacked <- t.unacked - 1
+      if entry.gave_up then entry.gave_up <- false
+      else t.unacked <- t.unacked - 1
   | Some _ | None -> ()
 
 let step t id inbox =
   match t.nodes.(id) with
   | None -> false
   | Some node ->
+  let now = Engine.round t.engine in
   let changed = ref node.dirty in
   List.iter
     (fun (src, msg) ->
+      (match t.detector with
+      | Some d -> Detector.heard d ~watcher:id ~peer:src ~round:now
+      | None -> ());
+      revive_given_up t node src;
       match msg with
-      | Update { seq; payload } ->
-          if apply_update t node ~src ~seq payload then changed := true
-      | Ack { seq } -> apply_ack t node ~src ~seq)
+      | Update { epoch; seq; payload } ->
+          if apply_update t node ~src ~epoch ~seq payload then changed := true
+      | Ack { epoch; seq } -> apply_ack t node ~src ~epoch ~seq
+      | Heartbeat -> ())
     inbox;
   if !changed then begin
     recompute_own_row t node;
     send_updates t node;
-    node.dirty <- false
+    node.dirty <- false;
+    t.step_changed <- true
   end;
   resend_pending t node;
+  send_heartbeats t node;
   !changed
 
+(* ----- self-healing repair (confirmed-dead eviction) ----- *)
+
+(* ancestors aggregate the dead node's subtree through max-merged CRT
+   columns; marking the root path dirty forces them to recompute and
+   repropagate instead of waiting for the decrease to trickle up *)
+let rec mark_root_path t x =
+  (match t.nodes.(x) with Some node -> node.dirty <- true | None -> ());
+  match Anchor.parent (Framework.anchor (Ensemble.primary t.fw)) x with
+  | Some p -> mark_root_path t p
+  | None -> ()
+
+(* forget an unacked live entry towards [peer] before dropping it *)
+let drop_out_entry t node peer =
+  (match Hashtbl.find_opt node.out peer with
+  | Some e when (not e.acked) && not e.gave_up -> t.unacked <- t.unacked - 1
+  | Some _ | None -> ());
+  Hashtbl.remove node.out peer
+
+(* (re-)establish the live link [a]<->[b] at the current repair epoch:
+   per-link delivery state restarts from scratch on both sides *)
+let relink t ~round a b =
+  let half x y =
+    match t.nodes.(x) with
+    | None -> ()
+    | Some node ->
+        drop_out_entry t node y;
+        Hashtbl.remove node.seen_seq y;
+        Hashtbl.remove node.last_sent y;
+        Hashtbl.replace node.link_epoch y t.epoch;
+        node.neighbors <- neighbor_infos t.fw x;
+        node.dirty <- true;
+        (match t.detector with
+        | Some d -> Detector.watch d ~watcher:x ~peer:y ~round
+        | None -> ())
+  in
+  half a b;
+  half b a
+
+let repair_one t dead_h =
+  match t.nodes.(dead_h) with
+  | None -> ()
+  | Some dnode ->
+      let now = Engine.round t.engine in
+      Registry.Counter.incr t.c_repairs;
+      (* retire the dead node's own pending output from the global count *)
+      Bwc_stats.Tbl.iter_sorted
+        (fun _ e -> if (not e.acked) && not e.gave_up then t.unacked <- t.unacked - 1)
+        dnode.out;
+      let old_nbrs =
+        List.sort compare (List.map (fun nb -> nb.Node_info.host) dnode.neighbors)
+      in
+      (* local overlay repair: orphans regraft to the grandparent *)
+      let regrafts = Ensemble.evict_host t.fw dead_h in
+      t.nodes.(dead_h) <- None;
+      Engine.set_active t.engine dead_h false;
+      (match t.detector with
+      | Some d ->
+          List.iter
+            (fun x ->
+              Detector.unwatch d ~watcher:x ~peer:dead_h;
+              Detector.unwatch d ~watcher:dead_h ~peer:x)
+            old_nbrs
+      | None -> ());
+      (* incremental invalidation: only the dead node's ex-neighbors hold
+         direct state about it; on a tree nothing else can echo it back
+         (recompute-and-replace propagation overwrites downstream copies),
+         so deleting here and re-propagating re-converges the overlay *)
+      List.iter
+        (fun x ->
+          match t.nodes.(x) with
+          | None -> ()
+          | Some node ->
+              drop_out_entry t node dead_h;
+              Hashtbl.remove node.aggr_node dead_h;
+              Hashtbl.remove node.aggr_crt dead_h;
+              Hashtbl.remove node.seen_seq dead_h;
+              Hashtbl.remove node.link_epoch dead_h;
+              Hashtbl.remove node.last_sent dead_h;
+              node.neighbors <- neighbor_infos t.fw x;
+              node.dirty <- true)
+        old_nbrs;
+      List.iter
+        (fun (c, p) ->
+          Registry.Counter.incr t.c_regrafts;
+          emit t (Trace.Regraft { round = now; node = c; new_parent = p });
+          relink t ~round:now c p;
+          mark_root_path t p)
+        regrafts
+
+let repair t ~dead =
+  let dead = List.sort_uniq compare (List.filter (fun h -> t.nodes.(h) <> None) dead) in
+  if dead <> [] then begin
+    t.epoch <- t.epoch + 1;
+    List.iter (repair_one t) dead;
+    (* the repair itself is protocol progress: re-aggregation must run *)
+    t.step_changed <- true
+  end
+
+let crash_host t h =
+  let (_ : node) = get_node t h in
+  emit t (Trace.Crash { round = Engine.round t.engine; node = h });
+  Engine.set_active t.engine h false
+
 let run_round t =
+  t.step_changed <- false;
   let active = Engine.run_round t.engine ~step:(step t) in
   t.rounds <- t.rounds + 1;
   Registry.Gauge.set t.g_unacked t.unacked;
-  (* unacked updates keep the protocol live even across quiet rounds
-     between retransmission timeouts *)
-  active || t.unacked > 0
+  match t.detector with
+  | None ->
+      (* unacked updates keep the protocol live even across quiet rounds
+         between retransmission timeouts *)
+      active || t.unacked > 0
+  | Some d ->
+      let round = Engine.round t.engine in
+      let confirmed = Detector.tick d ~round ~live:(Engine.is_active t.engine) in
+      repair t ~dead:confirmed;
+      (* heartbeats keep the engine's in-flight count permanently
+         non-zero, so the engine's own activity notion is useless here:
+         the protocol is live while state changed, updates await acks, or
+         a detector lease is running out *)
+      t.step_changed || t.unacked > 0 || Detector.pending d ~round
 
 let run_aggregation ?max_rounds t =
   let max_rounds =
@@ -349,6 +625,22 @@ let run_aggregation ?max_rounds t =
 (* ----- queries (Algorithm 4) ----- *)
 
 let clustering_space t x = clustering_space_node (get_node t x)
+
+let routing_suspects t ~at h =
+  match t.detector with
+  | None -> false
+  | Some d -> Detector.suspects d ~watcher:at ~peer:h
+
+(* failure-detector detour: directions under suspicion become last
+   resorts — probably dead, but not yet written off *)
+let detour t x ordered =
+  match t.detector with
+  | None -> ordered
+  | Some d ->
+      let suspected, healthy =
+        List.partition (fun (h, _) -> Detector.suspects d ~watcher:x ~peer:h) ordered
+      in
+      healthy @ suspected
 
 let local_find t node ~k ~cls =
   let infos = clustering_space_node node in
@@ -428,7 +720,7 @@ let query ?(policy = `Best_crt) ?hop_budget ?(retries = 2) t ~at ~k ~cls =
             (* stable sort: equal promises keep neighbor order *)
             List.stable_sort (fun (_, a) (_, b) -> compare b a) qualifying
       in
-      match first_reachable x (List.map fst ordered) with
+      match first_reachable x (List.map fst (detour t x ordered)) with
       | Some next ->
           emit t (Trace.Query_hop { round; src = x; dst = next });
           go next ~from:(Some x) ~path:(next :: path) ~budget:(budget - 1)
@@ -476,6 +768,11 @@ let rounds_run t = t.rounds
 let retries t = Registry.Counter.value t.c_retransmissions
 let duplicates_suppressed t = Registry.Counter.value t.c_dup_suppressed
 let stale_discarded t = Registry.Counter.value t.c_stale_discarded
+let give_ups t = Registry.Counter.value t.c_give_up
+let heartbeats_sent t = Registry.Counter.value t.c_heartbeats
+let epoch_discarded t = Registry.Counter.value t.c_epoch_discarded
+let repairs_run t = Registry.Counter.value t.c_repairs
+let regrafts_applied t = Registry.Counter.value t.c_regrafts
 let pending_unacked t = t.unacked
 
 let mark_all_dirty t =
@@ -490,4 +787,9 @@ let refresh_topology t =
   t.nodes <- node_slots t.fw t.classes;
   t.unacked <- 0;
   Engine.clear_in_flight t.engine;
-  sync_engine_active t
+  sync_engine_active t;
+  match t.detector with
+  | None -> ()
+  | Some d ->
+      Detector.clear d;
+      watch_all t

@@ -31,7 +31,22 @@
     point under message loss, duplication, reordering jitter and
     crash/restart windows as on a reliable network — it just takes more
     rounds and messages (tested; measured by the robustness
-    experiment). *)
+    experiment).  Retransmission is bounded: after [max_retransmits]
+    fruitless tries the sender {e gives up} on the peer (counted under
+    [protocol.give_up]) so quiescence never hinges on a host that is
+    gone for good; any later sign of life from the peer revives the
+    retired update.
+
+    With a [detector] config the protocol additionally runs the
+    {!Detector} failure detector over the anchor-tree edges (heartbeats
+    fill silent links) and {e self-heals}: a confirmed-dead node is
+    evicted from the ensemble ({!Bwc_predtree.Ensemble.evict_host},
+    orphaned overlay children regraft to their grandparent), aggregate
+    state about it is invalidated only at its ex-neighbors and along the
+    regraft points' root paths (epoch-versioned links fence off in-flight
+    state from before the repair), and the aggregation re-converges
+    incrementally — no global rebuild, no full re-propagation.  Queries
+    detour around {e suspected} (not yet confirmed) directions. *)
 
 type t
 
@@ -41,6 +56,8 @@ val create :
   ?edge_delay:(src:int -> dst:int -> int) ->
   ?faults:Bwc_sim.Fault.t ->
   ?resend_timeout:int ->
+  ?max_retransmits:int ->
+  ?detector:Detector.config ->
   ?metrics:Bwc_obs.Registry.t ->
   ?trace:Bwc_obs.Trace.t ->
   classes:Classes.t ->
@@ -53,20 +70,31 @@ val create :
     proportionally longer.  [faults] (default {!Bwc_sim.Fault.none})
     injects message loss, duplication, jitter, partitions and
     crash/restart windows.  [resend_timeout] (default 3) is how many
-    rounds an update stays unacknowledged before it is retransmitted.
-    With a fault plan that never heals (a permanent crash or partition),
-    [run_aggregation] keeps retrying until [max_rounds].
+    rounds an update stays unacknowledged before it is retransmitted;
+    [max_retransmits] (default 16) bounds how often before the sender
+    gives up on the peer.  With a fault plan that never heals (a
+    permanent crash or partition) and no [detector], the survivors give
+    up and quiesce without the dead peer's state repaired; with a
+    [detector] (off when omitted; see {!Detector.default_config}) the
+    dead peer is detected, evicted and healed around.  The detector
+    draws its (optional) jitter from a split of [rng]; omitting
+    [detector] leaves the RNG stream — and therefore detector-less runs
+    — untouched.
 
     [metrics] is the registry the protocol {e and} its engine write to
     ([protocol.retransmissions], [protocol.dup_suppressed],
-    [protocol.stale_discarded], the [protocol.unacked] gauge, the
-    [query.hops] histogram, [query.retries], [query.hits]/[query.misses],
-    plus the engine's [engine.*] series); a private registry is allocated
+    [protocol.stale_discarded], [protocol.give_up],
+    [protocol.heartbeats], [protocol.epoch_discarded],
+    [protocol.repairs], [protocol.regrafts], the [protocol.unacked]
+    gauge, the [query.hops] histogram, [query.retries],
+    [query.hits]/[query.misses], plus the engine's [engine.*] and the
+    detector's [detector.*] series); a private registry is allocated
     when omitted.  Pass the same registry to {!Bwc_sim.Fault.create} and
     {!Bwc_predtree.Ensemble.build} to snapshot the whole stack at once.
     [trace] enables structured event emission — engine-level
     send/deliver/drop events plus protocol-level [Retransmit],
-    [Query_hop] and [Quiesce] — and is off when omitted. *)
+    [Query_hop], [Suspect], [Confirm_dead], [Regraft] and [Quiesce] —
+    and is off when omitted. *)
 
 val n : t -> int
 (** Current member count. *)
@@ -80,7 +108,39 @@ val run_aggregation : ?max_rounds:int -> t -> int
     [max_rounds] (default [4 * n]). *)
 
 val run_round : t -> bool
-(** A single round; [true] while still active. *)
+(** A single round; [true] while still active.  With a detector, the
+    round also advances lease expiry and immediately repairs any nodes
+    confirmed dead this round, and activity means: some node's state
+    changed, updates await acks, or a detector lease is running out
+    (heartbeat traffic alone does not count as activity). *)
+
+val crash_host : t -> int -> unit
+(** Silently kills a member host: it stops stepping, and traffic to and
+    from it is purged/dropped.  Nothing else is told — with a detector
+    the survivors find out through lease expiry; without one they give
+    up on it after [max_retransmits].  Emits a [Crash] trace event.
+    Raises [Invalid_argument] for non-members. *)
+
+val repair : t -> dead:int list -> unit
+(** Manually evict the given (presumed dead) members and heal around
+    them, exactly as detector-driven repair would: ensemble eviction with
+    grandparent regrafts, link-epoch bump, invalidation of the dead
+    nodes' state at their ex-neighbors, root-path dirty marking.
+    Re-converge with further rounds.  Non-members in [dead] are ignored.
+    This is the incremental alternative to
+    {!Bwc_predtree.Ensemble.evict_host} + {!refresh_topology}. *)
+
+val detector : t -> Detector.t option
+(** The failure detector, when [create] was given a config. *)
+
+val epoch : t -> int
+(** The current repair epoch (bumped once per repair batch; 0 before any
+    repair). *)
+
+val routing_suspects : t -> at:int -> int -> bool
+(** [routing_suspects t ~at h]: whether [at]'s failure detector currently
+    suspects (or has confirmed) [h], i.e. whether query routing at [at]
+    should detour around [h].  Always [false] without a detector. *)
 
 val query :
   ?policy:[ `Best_crt | `First ] ->
@@ -95,7 +155,9 @@ val query :
 
     Robustness: a hop to a dead or partitioned neighbor falls back to the
     next qualifying neighbor; a hop over a lossy link is retried up to
-    [retries] times (default 2) before falling back; [hop_budget]
+    [retries] times (default 2) before falling back; with a detector,
+    directions the local failure detector suspects become last resorts
+    (tried only when every healthy direction fails); [hop_budget]
     (default [n], unreachable on a simple tree path) caps the total
     number of forwardings.  A query submitted at a dead host is an
     immediate miss. *)
@@ -147,9 +209,28 @@ val stale_discarded : t -> int
 (** Updates received out of order (older than the applied state) and
     discarded ([protocol.stale_discarded]). *)
 
+val give_ups : t -> int
+(** Updates retired unacknowledged after [max_retransmits] fruitless
+    retransmissions ([protocol.give_up]). *)
+
+val heartbeats_sent : t -> int
+(** Detector heartbeats sent over idle links ([protocol.heartbeats]). *)
+
+val epoch_discarded : t -> int
+(** Messages fenced off by the link-epoch guard — in-flight leftovers
+    from before a self-healing link reset ([protocol.epoch_discarded]). *)
+
+val repairs_run : t -> int
+(** Confirmed-dead nodes evicted and healed around
+    ([protocol.repairs]). *)
+
+val regrafts_applied : t -> int
+(** Orphaned overlay children re-attached to their grandparent during
+    repair ([protocol.regrafts]). *)
+
 val pending_unacked : t -> int
-(** Updates still awaiting acknowledgement (0 at quiescence on a healing
-    network). *)
+(** Updates still awaiting acknowledgement and not yet given up (0 at
+    quiescence). *)
 
 val mark_all_dirty : t -> unit
 (** Forces every host to recompute and repropagate — used after the
@@ -159,5 +240,7 @@ val refresh_topology : t -> unit
 (** Re-reads membership, labels and anchor neighborhoods from the
     framework (after joins, leaves, {!Bwc_predtree.Framework.refresh_host}
     or a rebuild), clears stale aggregation state, and marks everything
-    dirty.  Aggregation then reconverges with further rounds.  Functions
-    taking a host raise [Invalid_argument] for non-members. *)
+    dirty.  Aggregation then reconverges with further rounds.  With a
+    detector, all lease state is reset and the fresh edges are watched
+    from the current round.  Functions taking a host raise
+    [Invalid_argument] for non-members. *)

@@ -22,6 +22,7 @@ type result = {
 
 let found r = r.cluster <> None
 let not_found_at node = { cluster = None; hops = 0; retries = 0; path = [ node ] }
+let no_members = { cluster = None; hops = 0; retries = 0; path = [] }
 
 let pp ppf t = Format.fprintf ppf "(k=%d, l=%.3f)" t.k t.l
 

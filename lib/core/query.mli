@@ -29,5 +29,9 @@ val found : result -> bool
 val not_found_at : int -> result
 (** A miss that never left the submission node. *)
 
+val no_members : result
+(** A miss with an empty path: the system had no member to submit the
+    query at. *)
+
 val pp : Format.formatter -> t -> unit
 val pp_result : Format.formatter -> result -> unit

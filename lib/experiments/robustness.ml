@@ -1,8 +1,11 @@
 module Rng = Bwc_stats.Rng
 module Dataset = Bwc_dataset.Dataset
 module Ensemble = Bwc_predtree.Ensemble
+module Framework = Bwc_predtree.Framework
+module Anchor = Bwc_predtree.Anchor
 module Fault = Bwc_sim.Fault
 module Protocol = Bwc_core.Protocol
+module Detector = Bwc_core.Detector
 module Registry = Bwc_obs.Registry
 
 type row = {
@@ -157,9 +160,264 @@ let run ?(drops = [ 0.0; 0.1; 0.2; 0.3 ]) ?(crash_rates = [ 0.0; 0.15 ])
     rows;
   }
 
+(* ----- E13: crash recovery through failure detection + self-healing ----- *)
+
+type recovery_row = {
+  victims : int;
+  healed : bool;
+  detect_rounds : int;
+  reconverge_rounds : int;
+  full_rounds : int;
+  repair_msgs : int;
+  heartbeats : int;
+  full_msgs : int;
+  msgs_saved : float;
+  fixpoint_match : bool;
+  overlay_match : bool;
+  rr_during : float;
+  rr_after : float;
+  suspects : int;
+  give_ups : int;
+  regrafts : int;
+}
+
+type recovery_output = {
+  dataset : string;
+  n : int;
+  queries : int;
+  base_rounds : int;
+  rr_clean : float;
+  rows : recovery_row list;
+}
+
+(* the replayed query stream, restricted to the given submission points
+   (post-repair, evicted hosts can no longer be queried at) *)
+let measure_rr_at ~seed ~queries ~hosts ~lo ~hi protocol =
+  let rng = Rng.create seed in
+  let found = ref 0 in
+  for _ = 1 to queries do
+    let at = hosts.(Rng.int rng (Array.length hosts)) in
+    let k = 2 + Rng.int rng 6 in
+    let b = Rng.uniform rng lo hi in
+    if Bwc_core.Query.found (Protocol.query_bandwidth protocol ~at ~k ~b) then
+      incr found
+  done;
+  float_of_int !found /. float_of_int queries
+
+(* [v] pairwise non-adjacent, non-root members of the primary anchor
+   overlay: independent failures, so each repair is a local event *)
+let pick_victims ~rng ens v =
+  let anchor = Framework.anchor (Ensemble.primary ens) in
+  let root = Anchor.root anchor in
+  let rec pick chosen remaining k =
+    if k = 0 || remaining = [] then List.rev chosen
+    else begin
+      let arr = Array.of_list remaining in
+      let h = arr.(Rng.int rng (Array.length arr)) in
+      let nbrs = Anchor.neighbors anchor h in
+      let remaining =
+        List.filter (fun x -> x <> h && not (List.mem x nbrs)) remaining
+      in
+      pick (h :: chosen) remaining (k - 1)
+    end
+  in
+  pick [] (List.filter (fun h -> h <> root) (Ensemble.members ens)) v
+
+let overlay_edges ens =
+  let anchor = Framework.anchor (Ensemble.primary ens) in
+  List.sort compare
+    (List.concat_map
+       (fun h -> List.map (fun c -> (h, c)) (Anchor.children anchor h))
+       (Ensemble.members ens))
+
+let recovery ?(victim_counts = [ 1; 2; 3 ]) ?(queries = 60)
+    ?(detector = Detector.default_config) ?(max_rounds = 400) ?(n_cut = 4)
+    ?(class_count = 5) ~seed dataset =
+  let n = Dataset.size dataset in
+  let space = Dataset.metric dataset in
+  let classes = Bwc_core.Classes.of_percentiles ~count:class_count dataset in
+  let lo, hi = Workload.bandwidth_range dataset in
+  (* both arms of every row rebuild the same converged system (same
+     ensemble and protocol seeds); the only difference is how the crash is
+     handled: detector-driven incremental repair vs an oracle that evicts
+     immediately and re-propagates everything *)
+  let build ?detector () =
+    let metrics = Registry.create () in
+    let ens = Ensemble.build ~rng:(Rng.create (seed + 1)) ~metrics space in
+    let p =
+      Protocol.create ~rng:(Rng.create (seed + 2)) ~n_cut ?detector ~metrics
+        ~classes ens
+    in
+    let rounds = Protocol.run_aggregation ~max_rounds p in
+    (ens, p, rounds)
+  in
+  let _, clean, base_rounds = build ~detector () in
+  let rr_clean, _ = measure_rr ~seed:(seed + 3) ~queries ~n ~lo ~hi clean in
+  let rows =
+    List.map
+      (fun v ->
+        let ens_inc, p_inc, _ = build ~detector () in
+        let ens_full, p_full, _ = build () in
+        let victims = pick_victims ~rng:(Rng.create (seed + 11 + v)) ens_inc v in
+        let vcount = List.length victims in
+        List.iter (Protocol.crash_host p_inc) victims;
+        List.iter (Protocol.crash_host p_full) victims;
+        let crash_round = Protocol.rounds_run p_inc in
+        let msgs0_inc = Protocol.messages_sent p_inc in
+        let hb0 = Protocol.heartbeats_sent p_inc in
+        (* drive the incremental arm to quiescence, sampling one query per
+           round (at live hosts) to watch availability during repair *)
+        let qrng = Rng.create (seed + 5 + v) in
+        let live =
+          Array.of_list
+            (List.filter
+               (fun h -> not (List.mem h victims))
+               (Ensemble.members ens_inc))
+        in
+        let hits = ref 0 in
+        let asked = ref 0 in
+        let detect = ref 0 in
+        let rec go i =
+          if i >= max_rounds then false
+          else begin
+            let active = Protocol.run_round p_inc in
+            if !detect = 0 && Protocol.repairs_run p_inc >= vcount then
+              detect := i + 1;
+            let at = live.(Rng.int qrng (Array.length live)) in
+            let k = 2 + Rng.int qrng 6 in
+            let b = Rng.uniform qrng lo hi in
+            incr asked;
+            if Bwc_core.Query.found (Protocol.query_bandwidth p_inc ~at ~k ~b)
+            then incr hits;
+            if active || Protocol.repairs_run p_inc < vcount then go (i + 1)
+            else true
+          end
+        in
+        let healed = go 0 in
+        let reconverge_rounds = Protocol.rounds_run p_inc - crash_round in
+        let heartbeats = Protocol.heartbeats_sent p_inc - hb0 in
+        (* repair traffic proper: what healing re-propagated, net of the
+           steady heartbeat cost (reported separately) — the number the
+           full-stabilization arm, whose oracle pays no detection either,
+           is comparable against *)
+        let repair_msgs =
+          Protocol.messages_sent p_inc - msgs0_inc - heartbeats
+        in
+        let rr_during = float_of_int !hits /. float_of_int (max 1 !asked) in
+        (* oracle arm: told the victims immediately, evicts and rebuilds
+           every slot, then re-propagates from scratch *)
+        let msgs0_full = Protocol.messages_sent p_full in
+        List.iter (fun h -> ignore (Ensemble.evict_host ens_full h)) victims;
+        Protocol.refresh_topology p_full;
+        let full_rounds = Protocol.run_aggregation ~max_rounds p_full in
+        let full_msgs = Protocol.messages_sent p_full - msgs0_full in
+        let overlay_match = overlay_edges ens_inc = overlay_edges ens_full in
+        let fixpoint_match =
+          overlay_match
+          && List.for_all
+               (fun x ->
+                 Protocol.crt_row p_inc x x = Protocol.crt_row p_full x x
+                 && List.for_all
+                      (fun m ->
+                        Protocol.crt_row p_inc x m = Protocol.crt_row p_full x m)
+                      (Ensemble.anchor_neighbors ens_inc x))
+               (Ensemble.members ens_inc)
+        in
+        let rr_after =
+          measure_rr_at ~seed:(seed + 3) ~queries
+            ~hosts:(Array.of_list (Ensemble.members ens_inc))
+            ~lo ~hi p_inc
+        in
+        let snap = Registry.snapshot (Protocol.metrics p_inc) in
+        {
+          victims = vcount;
+          healed;
+          detect_rounds = !detect;
+          reconverge_rounds;
+          full_rounds;
+          repair_msgs;
+          heartbeats;
+          full_msgs;
+          msgs_saved =
+            (if full_msgs = 0 then 0.0
+             else 1.0 -. (float_of_int repair_msgs /. float_of_int full_msgs));
+          fixpoint_match;
+          overlay_match;
+          rr_during;
+          rr_after;
+          suspects = Registry.get snap "detector.suspects";
+          give_ups = Protocol.give_ups p_inc;
+          regrafts = Protocol.regrafts_applied p_inc;
+        })
+      victim_counts
+  in
+  { dataset = dataset.Dataset.name; n; queries; base_rounds; rr_clean; rows }
+
 let b v = if v then "yes" else "no"
 
-let print output =
+let print_recovery (output : recovery_output) =
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Crash recovery: incremental self-healing vs full stabilize (clean: %d \
+          rounds, RR %.3f) -- %s n=%d"
+         output.base_rounds output.rr_clean output.dataset output.n)
+    ~headers:
+      [
+        "victims"; "healed"; "detect"; "reconv"; "full rds"; "repair msgs"; "hb";
+        "full msgs"; "saved"; "fixpoint"; "overlay"; "RR during"; "RR after";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Report.i r.victims;
+           b r.healed;
+           Report.i r.detect_rounds;
+           Report.i r.reconverge_rounds;
+           Report.i r.full_rounds;
+           Report.i r.repair_msgs;
+           Report.i r.heartbeats;
+           Report.i r.full_msgs;
+           Report.f3 r.msgs_saved;
+           b r.fixpoint_match;
+           b r.overlay_match;
+           Report.f3 r.rr_during;
+           Report.f3 r.rr_after;
+         ])
+       output.rows)
+
+let save_recovery_csv (output : recovery_output) path =
+  Report.save_csv ~path
+    ~headers:
+      [
+        "victims"; "healed"; "detect_rounds"; "reconverge_rounds"; "full_rounds";
+        "repair_msgs"; "heartbeats"; "full_msgs"; "msgs_saved"; "fixpoint_match";
+        "overlay_match"; "rr_during"; "rr_after"; "suspects"; "give_ups";
+        "regrafts";
+      ]
+    (List.map
+       (fun r ->
+         [
+           Report.i r.victims;
+           b r.healed;
+           Report.i r.detect_rounds;
+           Report.i r.reconverge_rounds;
+           Report.i r.full_rounds;
+           Report.i r.repair_msgs;
+           Report.i r.heartbeats;
+           Report.i r.full_msgs;
+           Report.f3 r.msgs_saved;
+           b r.fixpoint_match;
+           b r.overlay_match;
+           Report.f3 r.rr_during;
+           Report.f3 r.rr_after;
+           Report.i r.suspects;
+           Report.i r.give_ups;
+           Report.i r.regrafts;
+         ])
+       output.rows)
+
+let print (output : output) =
   Report.table
     ~title:
       (Printf.sprintf
@@ -190,7 +448,7 @@ let print output =
          ])
        output.rows)
 
-let save_csv output path =
+let save_csv (output : output) path =
   Report.save_csv ~path
     ~headers:
       [

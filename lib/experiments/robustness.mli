@@ -57,3 +57,71 @@ val run :
 
 val print : output -> unit
 val save_csv : output -> string -> unit
+
+(** {1 E13: crash recovery}
+
+    Kills a set of pairwise non-adjacent hosts silently and compares two
+    ways of getting back to a correct fixed point, starting from the
+    {e same} converged system (same seeds):
+
+    - {b incremental}: the failure detector suspects, confirms, evicts
+      and heals ({!Bwc_core.Protocol} with a detector config) — orphans
+      regraft to their grandparent and only the state around the wound is
+      re-propagated;
+    - {b full stabilize}: an oracle evicts the victims immediately
+      ({!Bwc_predtree.Ensemble.evict_host}), then
+      {!Bwc_core.Protocol.refresh_topology} rebuilds every slot and the
+      whole aggregation re-propagates from scratch.
+
+    Both arms must land on the identical overlay and CRT fixed point
+    ([overlay_match] / [fixpoint_match]); the incremental arm should get
+    there with measurably fewer repair messages ([msgs_saved]).  During
+    the detection-and-repair window one query per round is sampled at
+    live hosts ([rr_during]) to watch availability degrade and recover
+    ([rr_after]).  [repair_msgs] is net of heartbeat traffic (reported
+    separately as [heartbeats]): the oracle arm pays for no detection, so
+    only repair propagation is compared like for like. *)
+
+type recovery_row = {
+  victims : int;           (** hosts actually crashed this row *)
+  healed : bool;           (** all victims repaired and quiescent in time *)
+  detect_rounds : int;     (** rounds from crash until the last repair ran *)
+  reconverge_rounds : int; (** rounds from crash to quiescence *)
+  full_rounds : int;       (** oracle arm's re-propagation rounds *)
+  repair_msgs : int;       (** incremental messages, net of heartbeats *)
+  heartbeats : int;        (** heartbeat messages over the same window *)
+  full_msgs : int;         (** oracle arm's re-propagation messages *)
+  msgs_saved : float;      (** 1 - repair_msgs / full_msgs *)
+  fixpoint_match : bool;   (** identical member CRT tables across arms *)
+  overlay_match : bool;    (** identical repaired anchor overlays *)
+  rr_during : float;       (** recall of queries sampled during repair *)
+  rr_after : float;        (** recall of the replayed workload after *)
+  suspects : int;          (** detector suspicion transitions *)
+  give_ups : int;          (** updates retired unacknowledged *)
+  regrafts : int;          (** orphans re-attached during repair *)
+}
+
+type recovery_output = {
+  dataset : string;
+  n : int;
+  queries : int;
+  base_rounds : int;       (** fault-free convergence rounds *)
+  rr_clean : float;        (** fault-free recall of the same workload *)
+  rows : recovery_row list;
+}
+
+val recovery :
+  ?victim_counts:int list ->
+  ?queries:int ->
+  ?detector:Bwc_core.Detector.config ->
+  ?max_rounds:int ->
+  ?n_cut:int ->
+  ?class_count:int ->
+  seed:int ->
+  Bwc_dataset.Dataset.t ->
+  recovery_output
+(** Defaults: victim counts [1; 2; 3], 60 queries,
+    {!Bwc_core.Detector.default_config}, round cap 400. *)
+
+val print_recovery : recovery_output -> unit
+val save_recovery_csv : recovery_output -> string -> unit

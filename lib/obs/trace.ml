@@ -15,6 +15,9 @@ type event =
   | Crash of { round : int; node : int }
   | Restart of { round : int; node : int }
   | Query_hop of { round : int; src : int; dst : int }
+  | Suspect of { round : int; by : int; node : int }
+  | Confirm_dead of { round : int; by : int; node : int }
+  | Regraft of { round : int; node : int; new_parent : int }
   | Quiesce of { round : int }
 
 type t = {
@@ -65,6 +68,15 @@ let event_to_json = function
   | Query_hop { round; src; dst } ->
       Printf.sprintf "{\"ev\":\"query_hop\",\"round\":%d,\"src\":%d,\"dst\":%d}" round src
         dst
+  | Suspect { round; by; node } ->
+      Printf.sprintf "{\"ev\":\"suspect\",\"round\":%d,\"by\":%d,\"node\":%d}" round by
+        node
+  | Confirm_dead { round; by; node } ->
+      Printf.sprintf "{\"ev\":\"confirm_dead\",\"round\":%d,\"by\":%d,\"node\":%d}" round
+        by node
+  | Regraft { round; node; new_parent } ->
+      Printf.sprintf "{\"ev\":\"regraft\",\"round\":%d,\"node\":%d,\"new_parent\":%d}"
+        round node new_parent
   | Quiesce { round } -> Printf.sprintf "{\"ev\":\"quiesce\",\"round\":%d}" round
 
 let to_jsonl t =

@@ -23,6 +23,12 @@ type event =
   | Crash of { round : int; node : int }
   | Restart of { round : int; node : int }
   | Query_hop of { round : int; src : int; dst : int }
+  | Suspect of { round : int; by : int; node : int }
+      (** watcher [by]'s failure detector started suspecting [node] *)
+  | Confirm_dead of { round : int; by : int; node : int }
+      (** watcher [by] confirmed [node] dead; self-healing repair follows *)
+  | Regraft of { round : int; node : int; new_parent : int }
+      (** overlay repair re-attached orphaned [node] under [new_parent] *)
   | Quiesce of { round : int }
 
 type t

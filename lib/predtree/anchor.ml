@@ -45,6 +45,86 @@ let remove_leaf t h =
 
 let size t = Hashtbl.length t.kids
 
+(* ----- self-healing repair primitives -----
+
+   Crash repair re-wires the overlay locally instead of rebuilding it:
+   a dead node's orphaned children are re-attached to their grandparent
+   (or, for a dead root, to a promoted sibling).  The primitives below
+   only move subtrees around — they never touch hosts outside the edited
+   neighborhood, which is what makes incremental re-aggregation sound. *)
+
+(* detach [h] from its current parent's child list (root: no-op) *)
+let detach t h =
+  match parent t h with
+  | Some p ->
+      Hashtbl.replace t.kids p (List.filter (fun c -> c <> h) (Hashtbl.find t.kids p));
+      Hashtbl.remove t.parents h
+  | None -> ()
+
+(* re-attach [h] (and implicitly its whole subtree) under [p]; the caller
+   guarantees [p] is not inside [h]'s subtree *)
+let reattach t h p =
+  detach t h;
+  Hashtbl.replace t.parents h p;
+  Hashtbl.replace t.kids p (h :: Hashtbl.find t.kids p)
+
+(* is [x] inside the subtree rooted at [r]?  Walks the ancestor chain of
+   [x]; tree depth bounds the walk. *)
+let in_subtree t ~root:r x =
+  let rec up y = y = r || (match parent t y with Some p -> up p | None -> false) in
+  up x
+
+let regraft t ~host ~parent:p =
+  if not (mem t host) then invalid_arg "Anchor.regraft: unknown host";
+  if not (mem t p) then invalid_arg "Anchor.regraft: unknown parent";
+  if t.root = Some host then Error `Is_root
+  else if in_subtree t ~root:host p then Error `Would_cycle
+  else begin
+    reattach t host p;
+    Ok ()
+  end
+
+let remove_subtree t h =
+  if not (mem t h) then invalid_arg "Anchor.remove_subtree: unknown host";
+  if t.root = Some h then Error `Is_root
+  else begin
+    let rec collect acc x = List.fold_left collect (x :: acc) (children t x) in
+    let doomed = collect [] h in
+    detach t h;
+    List.iter
+      (fun x ->
+        Hashtbl.remove t.parents x;
+        Hashtbl.remove t.kids x)
+      doomed;
+    Ok (List.sort compare doomed)
+  end
+
+let remove_node t h =
+  if not (mem t h) then invalid_arg "Anchor.remove_node: unknown host";
+  (* ascending child order keeps the regraft sequence (and everything
+     derived from it: trace events, dirty marks) deterministic *)
+  let cs = List.sort compare (children t h) in
+  match parent t h with
+  | Some p ->
+      let moves = List.map (fun c -> (c, p)) cs in
+      List.iter (fun (c, np) -> reattach t c np) moves;
+      (* h is a leaf now *)
+      detach t h;
+      Hashtbl.remove t.kids h;
+      Ok moves
+  | None -> (
+      match cs with
+      | [] -> Error `Last_host
+      | new_root :: rest ->
+          (* promote the smallest orphan to root, regraft its siblings
+             beneath it *)
+          detach t new_root;
+          let moves = List.map (fun c -> (c, new_root)) rest in
+          List.iter (fun (c, np) -> reattach t c np) moves;
+          Hashtbl.remove t.kids h;
+          t.root <- Some new_root;
+          Ok moves)
+
 let neighbors t h =
   match parent t h with
   | Some p -> p :: children t h

@@ -19,6 +19,25 @@ val add : t -> parent:int -> int -> unit
 val remove_leaf : t -> int -> (unit, [ `Not_leaf ]) result
 (** Removes a childless, non-root host. *)
 
+val regraft : t -> host:int -> parent:int -> (unit, [ `Is_root | `Would_cycle ]) result
+(** [regraft t ~host ~parent] detaches [host] (with its whole subtree)
+    from its current parent and re-attaches it under [parent] — the
+    self-healing repair primitive.  The root cannot be regrafted
+    ([`Is_root]); a parent inside [host]'s own subtree is rejected
+    ([`Would_cycle]).  Unknown hosts raise [Invalid_argument]. *)
+
+val remove_subtree : t -> int -> (int list, [ `Is_root ]) result
+(** Removes the host and its entire subtree; returns the removed hosts in
+    ascending order.  Unknown hosts raise [Invalid_argument]. *)
+
+val remove_node : t -> int -> ((int * int) list, [ `Last_host ]) result
+(** Crash repair: removes a (possibly interior) host, re-grafting each
+    orphaned child to the host's own parent — the grandparent.  A dead
+    root promotes its smallest child to root and regrafts the remaining
+    children beneath it.  Returns the [(child, new_parent)] regrafts in
+    ascending child order; [`Last_host] when the host is the only one
+    left.  Unknown hosts raise [Invalid_argument]. *)
+
 val root : t -> int
 val mem : t -> int -> bool
 val size : t -> int

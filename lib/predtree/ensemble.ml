@@ -26,6 +26,17 @@ let is_member t h = Framework.is_member t.frameworks.(0) h
 
 let add_host ~rng t h = Array.iter (fun fw -> Framework.add_host ~rng fw h) t.frameworks
 let remove_host ~rng t h = Array.iter (fun fw -> Framework.remove_host ~rng fw h) t.frameworks
+
+(* crash repair: every tree evicts; the primary's regrafts describe the
+   overlay the protocols run on *)
+let evict_host t h =
+  let primary_regrafts = ref [] in
+  Array.iteri
+    (fun i fw ->
+      let regrafts = Framework.evict_host fw h in
+      if i = 0 then primary_regrafts := regrafts)
+    t.frameworks;
+  !primary_regrafts
 let primary t = t.frameworks.(0)
 let frameworks t = Array.copy t.frameworks
 

@@ -44,6 +44,13 @@ val add_host : rng:Bwc_stats.Rng.t -> t -> int -> unit
 val remove_host : rng:Bwc_stats.Rng.t -> t -> int -> unit
 (** Removes the host from every tree (see {!Framework.remove_host}). *)
 
+val evict_host : t -> int -> (int * int) list
+(** Crash repair: evicts the host from every tree without a rebuild (see
+    {!Framework.evict_host}); orphaned overlay children regraft to their
+    grandparent.  Returns the {e primary} overlay's
+    [(child, new_parent)] regrafts — the repair the clustering protocols
+    must re-aggregate over. *)
+
 val primary : t -> Framework.t
 val frameworks : t -> Framework.t array
 

@@ -130,6 +130,27 @@ let remove_host ~rng t h =
     | Error `Has_dependents -> rebuild ~rng t
   end
 
+(* Crash-time removal: a dead host cannot be asked to hand over its role
+   in the embedding, so (unlike [remove_host]) eviction never rebuilds.
+   Membership and the label are dropped, the anchor overlay is repaired
+   locally (orphans regraft to the grandparent), and the prediction-tree
+   geometry the host contributed is retained whenever other placements
+   depend on it — survivors' labels stay valid, the dead host just can no
+   longer be queried. *)
+let evict_host t h =
+  check_host t h;
+  if not (is_member t h) then invalid_arg "Framework.evict_host: not a member";
+  if size t <= 1 then invalid_arg "Framework.evict_host: cannot empty the framework";
+  t.rev_order <- List.filter (fun x -> x <> h) t.rev_order;
+  Hashtbl.remove t.labels h;
+  (match Tree.remove_host t.tree ~host:h with
+  | Ok () | Error `Has_dependents -> ());
+  match Anchor.remove_node t.anchor h with
+  | Ok regrafts -> regrafts
+  | Error `Last_host ->
+      (* unreachable: [size t > 1] means the anchor holds another host *)
+      assert false
+
 (* Labels depend on ancestors' geometry, so after a leaf-level change only
    the re-added host's label is recomputed by [insert]; a structural change
    (dependents) invalidates descendants' labels and forces a rebuild. *)

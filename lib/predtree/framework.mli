@@ -82,6 +82,17 @@ val remove_host : rng:Bwc_stats.Rng.t -> t -> int -> unit
     rebuilt from the remaining members.  Removing the last member is
     refused. *)
 
+val evict_host : t -> int -> (int * int) list
+(** Crash repair: drops a host that is {e gone}, without the global
+    rebuild [remove_host] may fall back to.  Membership and the label are
+    removed and the anchor overlay is repaired locally with
+    {!Anchor.remove_node} (orphaned children regraft to the grandparent; a
+    dead root promotes its smallest child).  Prediction-tree geometry the
+    host anchored is retained, so surviving labels stay valid — the price
+    of not being able to re-measure on a crash.  Returns the
+    [(child, new_parent)] overlay regrafts.  Evicting a non-member or the
+    last member raises [Invalid_argument]. *)
+
 val refresh_host : rng:Bwc_stats.Rng.t -> t -> int -> unit
 (** Re-inserts one host using current measurements (network conditions
     changed).  Falls back to removing and re-adding; if the host anchors

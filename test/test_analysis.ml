@@ -125,6 +125,21 @@ let test_suppression_line_above () =
   in
   Alcotest.(check (list string)) "suppressed" [] (rule_ids (lint src))
 
+let test_suppression_exists_scan () =
+  (* mirrors the audited detector.ml [pending] site: an order-independent
+     exists-scan (commutative OR) over a Hashtbl, suppressed on the line
+     above the indented iteration *)
+  let src =
+    "let pending t round =\n  let p = ref false in\n  "
+    ^ sup "no-unordered-hashtbl-iter"
+    ^ "\n\
+      \  Hashtbl.iter (fun _ last -> if round - last > 3 then p := true) t;\n\
+      \  !p\n"
+  in
+  let r = lint src in
+  Alcotest.(check (list string)) "suppressed" [] (rule_ids r);
+  Alcotest.(check int) "one audited site" 1 r.Engine.suppressions_used
+
 let test_suppression_wrong_rule () =
   (* a suppression for a different rule must not mask the finding, and
      is itself reported as stale *)
@@ -250,6 +265,8 @@ let () =
         [
           Alcotest.test_case "same line" `Quick test_suppression_same_line;
           Alcotest.test_case "line above" `Quick test_suppression_line_above;
+          Alcotest.test_case "exists-scan site" `Quick
+            test_suppression_exists_scan;
           Alcotest.test_case "wrong rule kept" `Quick test_suppression_wrong_rule;
           Alcotest.test_case "allow all" `Quick test_suppression_all;
           Alcotest.test_case "stale reported" `Quick test_unused_suppression_reported;

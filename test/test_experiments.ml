@@ -269,6 +269,38 @@ let test_robustness_shapes () =
       end)
     out.Bwc_experiments.Robustness.rows
 
+let test_recovery_shapes () =
+  let ds = small_dataset ~seed:30 32 in
+  let out =
+    Bwc_experiments.Robustness.recovery ~victim_counts:[ 1; 2 ] ~queries:30
+      ~seed:31 ds
+  in
+  Alcotest.(check int) "rows" 2 (List.length out.Bwc_experiments.Robustness.rows);
+  List.iter
+    (fun r ->
+      let open Bwc_experiments.Robustness in
+      (* the acceptance properties: every crash is detected and healed,
+         the repaired system agrees with full stabilization everywhere,
+         and incremental repair re-propagates strictly less *)
+      Alcotest.(check bool)
+        (Printf.sprintf "healed with %d victims" r.victims)
+        true r.healed;
+      Alcotest.(check bool) "overlay match" true r.overlay_match;
+      Alcotest.(check bool) "fixpoint match" true r.fixpoint_match;
+      Alcotest.(check bool)
+        (Printf.sprintf "repair cheaper (%d vs %d msgs)" r.repair_msgs
+           r.full_msgs)
+        true
+        (r.repair_msgs < r.full_msgs);
+      Alcotest.(check bool) "detection before reconvergence" true
+        (0 < r.detect_rounds && r.detect_rounds <= r.reconverge_rounds);
+      Alcotest.(check bool) "suspicions preceded repairs" true
+        (r.suspects >= r.victims);
+      Alcotest.(check bool) "rr sane" true
+        (0.0 <= r.rr_during && r.rr_during <= 1.0 && 0.0 <= r.rr_after
+       && r.rr_after <= 1.0))
+    out.Bwc_experiments.Robustness.rows
+
 let test_csv_export () =
   let ds = small_dataset ~seed:26 50 in
   let out = Bwc_experiments.Tradeoff.run ~rounds:1 ~per_k:2 ~seed:27 ds in
@@ -314,6 +346,7 @@ let () =
           Alcotest.test_case "overhead (E10)" `Slow test_overhead_shapes;
           Alcotest.test_case "routing policy (E11)" `Slow test_routing_shapes;
           Alcotest.test_case "robustness (E12)" `Slow test_robustness_shapes;
+          Alcotest.test_case "crash recovery (E13)" `Slow test_recovery_shapes;
           Alcotest.test_case "csv export" `Quick test_csv_export;
         ] );
     ]

@@ -169,6 +169,21 @@ let test_trace_order_and_jsonl () =
   Trace.clear tr;
   Alcotest.(check int) "cleared" 0 (List.length (Trace.events tr))
 
+let test_trace_failure_events_jsonl () =
+  (* the failure-detection lifecycle: crash, suspicion, confirmation,
+     repair — rendered in emission order *)
+  let tr = Trace.create () in
+  Trace.emit tr (Trace.Crash { round = 7; node = 4 });
+  Trace.emit tr (Trace.Suspect { round = 13; by = 1; node = 4 });
+  Trace.emit tr (Trace.Confirm_dead { round = 17; by = 1; node = 4 });
+  Trace.emit tr (Trace.Regraft { round = 17; node = 9; new_parent = 1 });
+  Alcotest.(check string) "jsonl"
+    "{\"ev\":\"crash\",\"round\":7,\"node\":4}\n\
+     {\"ev\":\"suspect\",\"round\":13,\"by\":1,\"node\":4}\n\
+     {\"ev\":\"confirm_dead\",\"round\":17,\"by\":1,\"node\":4}\n\
+     {\"ev\":\"regraft\",\"round\":17,\"node\":9,\"new_parent\":1}\n"
+    (Trace.to_jsonl tr)
+
 let test_trace_ring_capacity () =
   let tr = Trace.create ~capacity:3 () in
   for round = 1 to 5 do
@@ -309,6 +324,8 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "order and jsonl" `Quick test_trace_order_and_jsonl;
+          Alcotest.test_case "failure events jsonl" `Quick
+            test_trace_failure_events_jsonl;
           Alcotest.test_case "ring capacity" `Quick test_trace_ring_capacity;
         ] );
       ( "determinism",

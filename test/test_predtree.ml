@@ -123,6 +123,124 @@ let test_anchor_remove_leaf () =
   | Error `Not_leaf -> Alcotest.fail "2 is a leaf");
   Alcotest.(check (list int)) "children pruned" [] (Anchor.children a 1)
 
+(* The self-healing invariants — connectivity, no host loss, recomputed
+   depths — boiled down to one walk from the root. *)
+let check_anchor_tree a expected_hosts =
+  Alcotest.(check (list int))
+    "host set" expected_hosts
+    (List.sort compare (Anchor.hosts a));
+  let seen = Hashtbl.create 16 in
+  let rec walk h d =
+    if Hashtbl.mem seen h then Alcotest.failf "cycle through %d" h;
+    Hashtbl.replace seen h ();
+    Alcotest.(check int) (Printf.sprintf "depth of %d" h) d (Anchor.depth a h);
+    List.iter
+      (fun c ->
+        match Anchor.parent a c with
+        | Some p when p = h -> walk c (d + 1)
+        | _ -> Alcotest.failf "parent link of %d broken" c)
+      (Anchor.children a h)
+  in
+  walk (Anchor.root a) 0;
+  Alcotest.(check int) "all hosts reachable from root"
+    (List.length expected_hosts)
+    (Hashtbl.length seen)
+
+(* 0 - (1, 4); 1 - (2, 3); 4 - (5) *)
+let repair_fixture () =
+  let a = Anchor.create () in
+  Anchor.set_root a 0;
+  Anchor.add a ~parent:0 1;
+  Anchor.add a ~parent:1 2;
+  Anchor.add a ~parent:1 3;
+  Anchor.add a ~parent:0 4;
+  Anchor.add a ~parent:4 5;
+  a
+
+let test_anchor_remove_leaf_errors () =
+  let a = Anchor.create () in
+  Anchor.set_root a 0;
+  (match Anchor.remove_leaf a 0 with
+  | Ok () -> Alcotest.fail "a childless root must not be removable"
+  | Error `Not_leaf -> ());
+  Anchor.add a ~parent:0 1;
+  (match Anchor.remove_leaf a 0 with
+  | Ok () -> Alcotest.fail "the root must not be removable"
+  | Error `Not_leaf -> ());
+  Alcotest.check_raises "unknown host"
+    (Invalid_argument "Anchor.remove_leaf: unknown host") (fun () ->
+      ignore (Anchor.remove_leaf a 9))
+
+let test_anchor_regraft () =
+  let a = repair_fixture () in
+  (match Anchor.regraft a ~host:0 ~parent:4 with
+  | Error `Is_root -> ()
+  | _ -> Alcotest.fail "root regraft must be refused");
+  (match Anchor.regraft a ~host:1 ~parent:3 with
+  | Error `Would_cycle -> ()
+  | _ -> Alcotest.fail "regraft under own descendant must be refused");
+  (match Anchor.regraft a ~host:1 ~parent:1 with
+  | Error `Would_cycle -> ()
+  | _ -> Alcotest.fail "regraft under itself must be refused");
+  Alcotest.check_raises "unknown host"
+    (Invalid_argument "Anchor.regraft: unknown host") (fun () ->
+      ignore (Anchor.regraft a ~host:9 ~parent:0));
+  (* move the whole 1-subtree under the deepest leaf of the other branch *)
+  (match Anchor.regraft a ~host:1 ~parent:5 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "valid regraft refused");
+  Alcotest.(check (option int)) "new parent" (Some 5) (Anchor.parent a 1);
+  Alcotest.(check (list int)) "old parent forgot it" [ 4 ] (Anchor.children a 0);
+  Alcotest.(check int) "subtree depth recomputed" 4 (Anchor.depth a 2);
+  check_anchor_tree a [ 0; 1; 2; 3; 4; 5 ]
+
+let test_anchor_remove_subtree () =
+  let a = repair_fixture () in
+  (match Anchor.remove_subtree a 0 with
+  | Error `Is_root -> ()
+  | Ok _ -> Alcotest.fail "root subtree removal must be refused");
+  Alcotest.check_raises "unknown host"
+    (Invalid_argument "Anchor.remove_subtree: unknown host") (fun () ->
+      ignore (Anchor.remove_subtree a 9));
+  (match Anchor.remove_subtree a 1 with
+  | Ok doomed -> Alcotest.(check (list int)) "removed, ascending" [ 1; 2; 3 ] doomed
+  | Error `Is_root -> Alcotest.fail "1 is not the root");
+  Alcotest.(check bool) "gone" false (Anchor.mem a 2);
+  check_anchor_tree a [ 0; 4; 5 ]
+
+let test_anchor_remove_node () =
+  (* interior node: orphans regraft to the grandparent *)
+  let a = repair_fixture () in
+  (match Anchor.remove_node a 1 with
+  | Ok moves ->
+      Alcotest.(check (list (pair int int)))
+        "orphans to grandparent, ascending"
+        [ (2, 0); (3, 0) ]
+        moves
+  | Error `Last_host -> Alcotest.fail "not the last host");
+  check_anchor_tree a [ 0; 2; 3; 4; 5 ];
+  (* leaf: no regrafts *)
+  (match Anchor.remove_node a 5 with
+  | Ok moves -> Alcotest.(check (list (pair int int))) "no orphans" [] moves
+  | Error `Last_host -> Alcotest.fail "not the last host");
+  check_anchor_tree a [ 0; 2; 3; 4 ];
+  (* dead root: the smallest child is promoted, the rest regraft under it *)
+  (match Anchor.remove_node a 0 with
+  | Ok moves ->
+      Alcotest.(check (list (pair int int)))
+        "siblings under the promoted root"
+        [ (3, 2); (4, 2) ]
+        moves
+  | Error `Last_host -> Alcotest.fail "not the last host");
+  Alcotest.(check int) "smallest child promoted" 2 (Anchor.root a);
+  check_anchor_tree a [ 2; 3; 4 ];
+  (* the last host cannot be removed *)
+  let b = Anchor.create () in
+  Anchor.set_root b 7;
+  (match Anchor.remove_node b 7 with
+  | Error `Last_host -> ()
+  | Ok _ -> Alcotest.fail "the last host must stay")
+
 (* ----- Label ----- *)
 
 let test_label_root () =
@@ -426,6 +544,11 @@ let () =
         [
           Alcotest.test_case "structure" `Quick test_anchor_structure;
           Alcotest.test_case "remove leaf" `Quick test_anchor_remove_leaf;
+          Alcotest.test_case "remove leaf error paths" `Quick
+            test_anchor_remove_leaf_errors;
+          Alcotest.test_case "regraft" `Quick test_anchor_regraft;
+          Alcotest.test_case "remove subtree" `Quick test_anchor_remove_subtree;
+          Alcotest.test_case "remove node" `Quick test_anchor_remove_node;
         ] );
       ( "label",
         [
