@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full examples clean doc lint lint-json trace metrics
+.PHONY: all build test bench bench-full bench-index prop examples clean doc lint lint-json trace metrics
 
 all: build
 
@@ -35,6 +35,16 @@ bench:
 
 bench-full:
 	BWC_BENCH_FULL=1 dune exec bench/main.exe
+
+# E14 only: churn the incremental index, emit BENCH_index.json, fail on
+# any incremental-vs-rebuild divergence
+bench-index:
+	dune exec bench/main.exe -- --index-only
+
+# seeded property harness (differential churn + Alg1-vs-oracle); replay
+# a failure with BWC_PROP_SEED=<seed> BWC_PROP_CASES=<cases> make prop
+prop:
+	dune exec test/prop.exe
 
 examples:
 	dune exec examples/quickstart.exe

@@ -126,6 +126,24 @@ let ablations () =
   in
   Bwc_experiments.Robustness.print out
 
+let index_churn () =
+  section "Incremental index maintenance under churn  [E14]";
+  let sizes = if full then [ 64; 128; 256; 384 ] else [ 64; 128; 256 ] in
+  let rows =
+    Bwc_experiments.Scalability.churn_sweep ~sizes
+      ~events_per_size:(if full then 32 else 16)
+      ~seed:1 ()
+  in
+  Bwc_experiments.Scalability.print_churn rows;
+  Bwc_experiments.Scalability.save_churn_json rows ~seed:1 "BENCH_index.json";
+  Format.printf "churn sweep written to BENCH_index.json@.";
+  let diverged = Bwc_experiments.Scalability.churn_divergence rows in
+  if diverged > 0 then begin
+    Format.eprintf "E14: %d differential divergences between incremental and rebuilt index@."
+      diverged;
+    exit 1
+  end
+
 (* ----- Bechamel micro-benchmarks ----- *)
 
 open Bechamel
@@ -222,22 +240,32 @@ let run_micro () =
 (* Wall-clock phase profile via Bwc_obs.Span — the opt-in timing layer
    that is deliberately kept out of registries and traces (bench output
    is the one place wall time belongs). *)
-let spans = List.map Bwc_obs.Span.create [ "fig3"; "fig4"; "fig5"; "fig6"; "ablations"; "micro" ]
+let spans =
+  List.map Bwc_obs.Span.create
+    [ "fig3"; "fig4"; "fig5"; "fig6"; "ablations"; "index-churn"; "micro" ]
 
 let timed name f =
   let span = List.find (fun s -> Bwc_obs.Span.name s = name) spans in
   Bwc_obs.Span.time span f
 
+(* `bench/main.exe -- --index-only` runs just the E14 churn sweep (the CI
+   bench smoke job wants BENCH_index.json without paying for the full
+   harness) *)
+let index_only = Array.exists (String.equal "--index-only") Sys.argv
+
 let () =
   let t0 = Unix.gettimeofday () in
   Format.printf "bwcluster benchmark harness (%s scale)@."
     (if full then "paper" else "bench");
-  timed "fig3" fig3;
-  timed "fig4" fig4;
-  timed "fig5" fig5;
-  timed "fig6" fig6;
-  timed "ablations" ablations;
-  timed "micro" run_micro;
+  if not index_only then begin
+    timed "fig3" fig3;
+    timed "fig4" fig4;
+    timed "fig5" fig5;
+    timed "fig6" fig6;
+    timed "ablations" ablations
+  end;
+  timed "index-churn" index_churn;
+  if not index_only then timed "micro" run_micro;
   section "Phase profile (wall clock)";
   List.iter (fun s -> Format.printf "%a@." Bwc_obs.Span.pp s) spans;
   Format.printf "@.total wall time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -119,26 +119,63 @@ let treeness_cmd =
 
 (* ----- scalability (E5) ----- *)
 
-let scalability seed full dataset csv =
-  let ds = load_dataset ~seed dataset in
-  let sizes, subsets, queries, rounds =
-    if full then ([ 50; 100; 150; 200; 250; 300 ], 10, 1000, 10)
-    else ([ 40; 80; 120 ], 2, 80, 1)
-  in
-  let n = Bwc_dataset.Dataset.size ds in
-  let sizes = List.filter (fun s -> s <= n) sizes in
-  let out =
-    Bwc_experiments.Scalability.run ~sizes ~subsets_per_size:subsets
-      ~queries_per_subset:queries ~rounds ~seed ds
-  in
-  Bwc_experiments.Scalability.print out;
-  maybe_csv csv Bwc_experiments.Scalability.save_csv out
+let scalability seed full dataset churn json csv =
+  if churn then begin
+    let sizes = if full then [ 64; 128; 256; 384 ] else [ 64; 128; 256 ] in
+    let rows =
+      Bwc_experiments.Scalability.churn_sweep ~sizes
+        ~events_per_size:(if full then 32 else 16)
+        ~seed ()
+    in
+    Bwc_experiments.Scalability.print_churn rows;
+    (match json with
+    | Some path ->
+        Bwc_experiments.Scalability.save_churn_json rows ~seed path;
+        Format.printf "json written to %s@." path
+    | None -> ());
+    let diverged = Bwc_experiments.Scalability.churn_divergence rows in
+    if diverged > 0 then begin
+      Format.eprintf "churn sweep: %d differential divergences@." diverged;
+      exit 1
+    end
+  end
+  else begin
+    let ds = load_dataset ~seed dataset in
+    let sizes, subsets, queries, rounds =
+      if full then ([ 50; 100; 150; 200; 250; 300 ], 10, 1000, 10)
+      else ([ 40; 80; 120 ], 2, 80, 1)
+    in
+    let n = Bwc_dataset.Dataset.size ds in
+    let sizes = List.filter (fun s -> s <= n) sizes in
+    let out =
+      Bwc_experiments.Scalability.run ~sizes ~subsets_per_size:subsets
+        ~queries_per_subset:queries ~rounds ~seed ds
+    in
+    Bwc_experiments.Scalability.print out;
+    maybe_csv csv Bwc_experiments.Scalability.save_csv out
+  end
 
 let scalability_cmd =
   let doc = "Fig. 6: mean query routing hops vs system size." in
+  let churn =
+    Arg.(
+      value & flag
+      & info [ "churn" ]
+          ~doc:
+            "Run the E14 churn sweep instead: incremental index maintenance \
+             vs rebuild-from-scratch, with differential checking (exits \
+             non-zero on any divergence).")
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"With $(b,--churn): also write the sweep as JSON (BENCH_index.json schema).")
+  in
   Cmd.v
     (Cmd.info "scalability" ~doc)
-    Term.(const scalability $ seed_arg $ full_arg $ dataset_arg $ csv_arg)
+    Term.(const scalability $ seed_arg $ full_arg $ dataset_arg $ churn $ json $ csv_arg)
 
 (* ----- embedding ablation (E8) ----- *)
 

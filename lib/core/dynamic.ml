@@ -4,9 +4,12 @@ module Ensemble = Bwc_predtree.Ensemble
 
 type t = {
   rng : Rng.t;
+  c : float;
+  space : Bwc_metric.Space.t; (* measured metric, cached: the index universe *)
   fw : Ensemble.t;
   protocol : Protocol.t;
   classes : Classes.t;
+  mutable index : Find_cluster.Index.t option; (* lazy, then delta-maintained *)
 }
 
 let create ?(seed = 1) ?(c = Bwc_metric.Bandwidth.default_c) ?n_cut ?(class_count = 8)
@@ -20,7 +23,25 @@ let create ?(seed = 1) ?(c = Bwc_metric.Bandwidth.default_c) ?n_cut ?(class_coun
   let classes = Classes.of_percentiles ~c ~count:class_count dataset in
   let protocol = Protocol.create ~rng:(Rng.split rng) ?n_cut ~classes fw in
   let (_ : int) = Protocol.run_aggregation protocol in
-  { rng; fw; protocol; classes }
+  let t =
+    {
+      rng;
+      c;
+      space = Bwc_metric.Space.cached space;
+      fw;
+      protocol;
+      classes;
+      index = None;
+    }
+  in
+  (* detector/manual repairs evict members underneath us; the maintained
+     index follows by delta instead of being rebuilt *)
+  Protocol.set_on_evict protocol (fun h ->
+      match t.index with
+      | Some idx when Find_cluster.Index.is_member idx h ->
+          Find_cluster.Index.remove_host idx h
+      | Some _ | None -> ());
+  t
 
 let members t = Ensemble.members t.fw
 let member_count t = List.length (members t)
@@ -29,17 +50,40 @@ let protocol t = t.protocol
 let ensemble t = t.fw
 let classes t = t.classes
 
+let index t =
+  match t.index with
+  | Some i -> i
+  | None ->
+      let i = Find_cluster.Index.build_subset t.space (members t) in
+      t.index <- Some i;
+      i
+
+(* apply one membership delta to the maintained index, if materialised
+   (a not-yet-demanded index is simply built over the members of the
+   moment it is first used) *)
+let index_join t h =
+  match t.index with
+  | Some idx -> Find_cluster.Index.add_host idx h
+  | None -> ()
+
+let index_leave t h =
+  match t.index with
+  | Some idx -> Find_cluster.Index.remove_host idx h
+  | None -> ()
+
 let stabilize t =
   Protocol.refresh_topology t.protocol;
   Protocol.run_aggregation t.protocol
 
 let join t h =
   Ensemble.add_host ~rng:(Rng.split t.rng) t.fw h;
+  index_join t h;
   let (_ : int) = stabilize t in
   ()
 
 let leave t h =
   Ensemble.remove_host ~rng:(Rng.split t.rng) t.fw h;
+  index_leave t h;
   let (_ : int) = stabilize t in
   ()
 
@@ -51,11 +95,13 @@ let apply t events =
       | Bwc_sim.Churn.Join h ->
           if not (is_member t h) then begin
             Ensemble.add_host ~rng:(Rng.split t.rng) t.fw h;
+            index_join t h;
             changed := true
           end
       | Bwc_sim.Churn.Leave h ->
           if is_member t h && member_count t > 1 then begin
             Ensemble.remove_host ~rng:(Rng.split t.rng) t.fw h;
+            index_leave t h;
             changed := true
           end)
     events;
@@ -77,3 +123,7 @@ let query ?at t ~k ~b =
   | None, [] -> Query.no_members
   | None, ms -> Protocol.query_bandwidth t.protocol ~at:(Rng.choose t.rng (Array.of_list ms)) ~k ~b
   | Some at, _ -> Protocol.query_bandwidth t.protocol ~at ~k ~b
+
+let query_centralized t ~k ~b =
+  let l = Bwc_metric.Bandwidth.to_distance ~c:t.c b in
+  Find_cluster.Index.find (index t) ~k ~l

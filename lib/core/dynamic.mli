@@ -8,6 +8,13 @@
     of membership changes the aggregation protocols re-run to quiescence,
     so cluster routing tables always describe the current overlay.
 
+    The system also keeps the centralized Algorithm-1 comparison alive
+    under churn: a {!Bwc_core.Find_cluster.Index} over the measured metric
+    (whose pair distances are fixed — only membership moves) is built
+    lazily and then {e maintained by O(n^2) deltas} on every join, leave
+    and detector-driven eviction, instead of being invalidated and
+    rebuilt at O(n^3) per membership event.
+
     Churn schedules from {!Bwc_sim.Churn} drive whole scenarios. *)
 
 type t
@@ -53,6 +60,17 @@ val query : ?at:int -> t -> k:int -> b:float -> Query.result
 (** Submits at a uniformly random current member by default.  When the
     member list is empty (churn removed everyone), answers
     {!Query.no_members} instead of raising. *)
+
+val index : t -> Find_cluster.Index.t
+(** The maintained centralized index over the measured metric restricted
+    to the current members.  Built on first use (O(n^3)); every
+    subsequent membership event repairs it in O(n^2). *)
+
+val query_centralized : t -> k:int -> b:float -> int list option
+(** Algorithm 1 over the maintained index with the exact constraint
+    [l = C / b] — the centralized baseline the dynamic experiments
+    compare the decentralized protocol against, kept valid under churn
+    without rebuilds. *)
 
 val stabilize : t -> int
 (** Re-runs background aggregation until quiescent; returns rounds run.

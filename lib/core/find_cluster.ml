@@ -1,5 +1,10 @@
 module Space = Bwc_metric.Space
 
+(* Relative slack used whenever a cluster diameter is compared against the
+   query constraint [l] — shared by the one-shot scan and the index so the
+   two paths can never disagree on a borderline verification. *)
+let diam_tol = 1e-9
+
 let members space ~p ~q =
   let d = space.Space.dist in
   let dpq = d p q in
@@ -8,6 +13,18 @@ let members space ~p ~q =
     if d x p <= dpq && d x q <= dpq then out := x :: !out
   done;
   !out
+
+(* |S*_pq| without materialising the member list: the scan hot path only
+   needs the count, and allocating an O(n) list per pair turned the
+   O(n^3) scan into an allocation storm. *)
+let count_members space ~p ~q =
+  let d = space.Space.dist in
+  let dpq = d p q in
+  let count = ref 0 in
+  for x = 0 to space.Space.n - 1 do
+    if d x p <= dpq && d x q <= dpq then incr count
+  done;
+  !count
 
 let rec take k = function
   | [] -> []
@@ -20,7 +37,7 @@ let pick_k ~p ~q k members =
   p :: q :: take (k - 2) others
 
 let cluster_ok ~verify space ~l cluster =
-  (not verify) || Space.diameter space cluster <= l *. (1.0 +. 1e-9)
+  (not verify) || Space.diameter space cluster <= l *. (1.0 +. diam_tol)
 
 (* Pairs are scanned in plain index order, as in the paper's pseudocode
    ("foreach node pair (p,q)").  The order matters on approximate tree
@@ -44,9 +61,8 @@ let find ?(verify = false) space ~k ~l =
     let result = ref None in
     iter_pairs_until space.Space.n (fun p q ->
         if space.Space.dist p q <= l then begin
-          let s = members space ~p ~q in
-          if List.length s >= k then begin
-            let cluster = pick_k ~p ~q k s in
+          if count_members space ~p ~q >= k then begin
+            let cluster = pick_k ~p ~q k (members space ~p ~q) in
             if cluster_ok ~verify space ~l cluster then begin
               result := Some cluster;
               raise Exit
@@ -64,77 +80,234 @@ let max_size space ~l =
     let best = ref 1 in
     iter_pairs_until space.Space.n (fun p q ->
         if space.Space.dist p q <= l then begin
-          let size = List.length (members space ~p ~q) in
+          let size = count_members space ~p ~q in
           if size > !best then best := size
         end);
     !best
   end
 
 module Index = struct
-  type t = {
-    space : Space.t;
-    dists : float array;        (* pair distances, index order (p-major) *)
-    sizes : int array;          (* |S*_pq| per pair, index order *)
-    sorted_dists : float array; (* ascending distances *)
-    prefix_max : int array;     (* running max of sizes along sorted_dists *)
+  (* One active pair (u < v, host ids of the universe space).  [size] is
+     |S*_uv| restricted to the current members and is the only mutable
+     field: membership deltas never change a pair's distance, so the
+     sorted query structure stays valid across updates. *)
+  type pair = {
+    u : int;
+    v : int;
+    d : float;
+    mutable size : int;
   }
 
-  (* Flat position of pair (p, q), p < q, in index order. *)
-  let pair_pos n p q = (p * ((2 * n) - p - 1) / 2) + (q - p - 1)
+  type t = {
+    space : Space.t;            (* fixed universe; distances never change *)
+    active : bool array;        (* membership flag per universe point *)
+    mutable members : int array;    (* active host ids, ascending *)
+    pairs : (int, pair) Hashtbl.t;  (* key [u * space.n + v], u < v *)
+    mutable sorted : pair array;    (* ascending (d, u, v) *)
+    mutable prefix_max : int array; (* running max of sizes along sorted *)
+  }
 
-  let build space =
+  let key t u v = (u * t.space.Space.n) + v
+
+  (* Primary order is the distance (what the binary search needs); the
+     (u, v) tie-break makes merges and rebuilds byte-deterministic. *)
+  let pair_cmp a b =
+    let c = Float.compare a.d b.d in
+    if c <> 0 then c
+    else begin
+      let c = Stdlib.compare a.u b.u in
+      if c <> 0 then c else Stdlib.compare a.v b.v
+    end
+
+  (* |S*_uv ∩ members| by counting loop (cf. [count_members]). *)
+  let count_active t ~u ~v d =
+    let dist = t.space.Space.dist in
+    let count = ref 0 in
+    Array.iter (fun x -> if dist x u <= d && dist x v <= d then incr count) t.members;
+    !count
+
+  let recompute_prefix_max t =
+    let m = Array.length t.sorted in
+    let prefix = Array.make m 0 in
+    let run = ref 0 in
+    for i = 0 to m - 1 do
+      run := Stdlib.max !run t.sorted.(i).size;
+      prefix.(i) <- !run
+    done;
+    t.prefix_max <- prefix
+
+  let build_subset space hosts =
     let n = space.Space.n in
-    let count = n * (n - 1) / 2 in
-    let dists = Array.make (Stdlib.max 1 count) 0.0 in
-    let sizes = Array.make (Stdlib.max 1 count) 0 in
-    for p = 0 to n - 1 do
-      for q = p + 1 to n - 1 do
-        let pos = pair_pos n p q in
-        dists.(pos) <- space.Space.dist p q;
-        sizes.(pos) <- List.length (members space ~p ~q)
+    let members = Array.of_list (List.sort_uniq compare hosts) in
+    Array.iter
+      (fun h ->
+        if h < 0 || h >= n then invalid_arg "Find_cluster.Index: host out of range")
+      members;
+    let active = Array.make n false in
+    Array.iter (fun h -> active.(h) <- true) members;
+    let a = Array.length members in
+    let count = a * (a - 1) / 2 in
+    let t =
+      {
+        space;
+        active;
+        members;
+        pairs = Hashtbl.create (Stdlib.max 16 count);
+        sorted = [||];
+        prefix_max = [||];
+      }
+    in
+    let all = Array.make (Stdlib.max 1 count) { u = 0; v = 0; d = 0.0; size = 0 } in
+    let pos = ref 0 in
+    for i = 0 to a - 1 do
+      for j = i + 1 to a - 1 do
+        let u = members.(i) and v = members.(j) in
+        let d = space.Space.dist u v in
+        let pr = { u; v; d; size = count_active t ~u ~v d } in
+        Hashtbl.replace t.pairs (key t u v) pr;
+        all.(!pos) <- pr;
+        incr pos
       done
     done;
-    let order = Array.init count (fun i -> i) in
-    Array.sort (fun a b -> compare dists.(a) dists.(b)) order;
-    let sorted_dists = Array.map (fun i -> dists.(i)) order in
-    let prefix_max = Array.make count 0 in
-    let run = ref 0 in
-    Array.iteri
-      (fun rank i ->
-        run := Stdlib.max !run sizes.(i);
-        prefix_max.(rank) <- !run)
-      order;
-    { space; dists; sizes; sorted_dists; prefix_max }
+    let all = if count = 0 then [||] else all in
+    Array.sort pair_cmp all;
+    t.sorted <- all;
+    recompute_prefix_max t;
+    t
 
-  let size t = t.space.Space.n
+  let build space = build_subset space (List.init space.Space.n Fun.id)
+
+  let size t = Array.length t.members
+  let members t = Array.to_list t.members
+  let is_member t h = h >= 0 && h < t.space.Space.n && t.active.(h)
+
+  (* ----- incremental maintenance ----- *)
+
+  (* Sorted insertion of [h] into the member array: O(n). *)
+  let insert_member t h =
+    let a = Array.length t.members in
+    let out = Array.make (a + 1) h in
+    let i = ref 0 in
+    while !i < a && t.members.(!i) < h do
+      out.(!i) <- t.members.(!i);
+      incr i
+    done;
+    Array.blit t.members !i out (!i + 1) (a - !i);
+    t.members <- out
+
+  let delete_member t h =
+    t.members <- Array.of_list (List.filter (fun x -> x <> h) (Array.to_list t.members))
+
+  (* Merge of two pair arrays each sorted by [pair_cmp]: O(m + f). *)
+  let merge_sorted a b =
+    let la = Array.length a and lb = Array.length b in
+    if la = 0 then b
+    else if lb = 0 then a
+    else begin
+      let out = Array.make (la + lb) a.(0) in
+      let i = ref 0 and j = ref 0 in
+      for k = 0 to la + lb - 1 do
+        if !j >= lb || (!i < la && pair_cmp a.(!i) b.(!j) <= 0) then begin
+          out.(k) <- a.(!i);
+          incr i
+        end
+        else begin
+          out.(k) <- b.(!j);
+          incr j
+        end
+      done;
+      out
+    end
+
+  let add_host t h =
+    if h < 0 || h >= t.space.Space.n then
+      invalid_arg "Find_cluster.Index.add_host: host out of range";
+    if t.active.(h) then invalid_arg "Find_cluster.Index.add_host: already a member";
+    let dist = t.space.Space.dist in
+    (* 1. every existing pair whose ball the newcomer falls into grows *)
+    Array.iter
+      (fun pr -> if dist h pr.u <= pr.d && dist h pr.v <= pr.d then pr.size <- pr.size + 1)
+      t.sorted;
+    (* 2. the newcomer's own pairs, sized against the grown membership *)
+    t.active.(h) <- true;
+    insert_member t h;
+    let fresh =
+      Array.map
+        (fun p ->
+          let u = Stdlib.min p h and v = Stdlib.max p h in
+          let d = dist u v in
+          let pr = { u; v; d; size = count_active t ~u ~v d } in
+          Hashtbl.replace t.pairs (key t u v) pr;
+          pr)
+        (Array.of_list (List.filter (fun p -> p <> h) (Array.to_list t.members)))
+    in
+    (* 3. incremental merge keeps the binary-searchable order without a
+       full re-sort: the old run is already sorted and only the O(n)
+       fresh pairs need sorting *)
+    Array.sort pair_cmp fresh;
+    t.sorted <- merge_sorted t.sorted fresh;
+    recompute_prefix_max t
+
+  let remove_host t h =
+    if not (is_member t h) then invalid_arg "Find_cluster.Index.remove_host: not a member";
+    if Array.length t.members = 1 then Hashtbl.reset t.pairs
+    else
+      Array.iter
+        (fun p -> if p <> h then Hashtbl.remove t.pairs (key t (Stdlib.min p h) (Stdlib.max p h)))
+        t.members;
+    t.active.(h) <- false;
+    delete_member t h;
+    let dist = t.space.Space.dist in
+    let kept =
+      Array.of_list
+        (List.filter (fun pr -> pr.u <> h && pr.v <> h) (Array.to_list t.sorted))
+    in
+    (* the departed host leaves every ball it was counted in *)
+    Array.iter
+      (fun pr -> if dist h pr.u <= pr.d && dist h pr.v <= pr.d then pr.size <- pr.size - 1)
+      kept;
+    t.sorted <- kept;
+    recompute_prefix_max t
+
+  (* ----- queries ----- *)
 
   (* Rank of the last sorted pair with distance <= l, or -1. *)
   let last_within t l =
-    let n = Array.length t.sorted_dists in
+    let n = Array.length t.sorted in
     let rec search lo hi =
       if lo >= hi then lo - 1
       else begin
         let mid = (lo + hi) / 2 in
-        if t.sorted_dists.(mid) <= l then search (mid + 1) hi else search lo mid
+        if t.sorted.(mid).d <= l then search (mid + 1) hi else search lo mid
       end
     in
     search 0 n
 
+  (* S*_uv restricted to the active members, ascending host id. *)
+  let members_active t ~u ~v d =
+    let dist = t.space.Space.dist in
+    List.filter
+      (fun x -> dist x u <= d && dist x v <= d)
+      (Array.to_list t.members)
+
   let find ?(verify = false) t ~k ~l =
     if k < 2 then invalid_arg "Find_cluster.Index.find: k < 2";
-    let n = t.space.Space.n in
+    let a = Array.length t.members in
     let result = ref None in
     (try
-       for p = 0 to n - 1 do
-         for q = p + 1 to n - 1 do
-           let pos = pair_pos n p q in
-           if t.dists.(pos) <= l && t.sizes.(pos) >= k then begin
-             let cluster = pick_k ~p ~q k (members t.space ~p ~q) in
-             if cluster_ok ~verify t.space ~l cluster then begin
-               result := Some cluster;
-               raise Exit
-             end
-           end
+       for i = 0 to a - 1 do
+         for j = i + 1 to a - 1 do
+           let u = t.members.(i) and v = t.members.(j) in
+           match Hashtbl.find_opt t.pairs (key t u v) with
+           | None -> ()
+           | Some pr ->
+               if pr.d <= l && pr.size >= k then begin
+                 let cluster = pick_k ~p:u ~q:v k (members_active t ~u ~v pr.d) in
+                 if cluster_ok ~verify t.space ~l cluster then begin
+                   result := Some cluster;
+                   raise Exit
+                 end
+               end
          done
        done
      with Exit -> ());
@@ -146,7 +319,7 @@ module Index = struct
     limit >= 0 && t.prefix_max.(limit) >= k
 
   let max_size t ~l =
-    if t.space.Space.n = 0 then 0
+    if Array.length t.members = 0 then 0
     else begin
       let limit = last_within t l in
       if limit < 0 then 1 else Stdlib.max 1 t.prefix_max.(limit)

@@ -18,8 +18,16 @@
     cluster's diameter (the paper's evaluation does {e not} verify — the
     resulting wrong pairs are exactly what WPR measures). *)
 
+val diam_tol : float
+(** Relative slack ([1e-9]) applied when a cluster diameter is verified
+    against the constraint [l]; shared by every verification path. *)
+
 val members : Bwc_metric.Space.t -> p:int -> q:int -> int list
 (** [S*_pq], ascending node order ([p] and [q] are members). *)
+
+val count_members : Bwc_metric.Space.t -> p:int -> q:int -> int
+(** [|S*_pq|] by counting loop — the scan hot path never materialises the
+    member list just to measure it. *)
 
 val find :
   ?verify:bool -> Bwc_metric.Space.t -> k:int -> l:float -> int list option
@@ -34,16 +42,52 @@ val max_size : Bwc_metric.Space.t -> l:float -> int
     (the quantity aggregated into cluster routing tables by
     Algorithm 3); at least 1 when the space is non-empty. *)
 
-(** Precomputed all-pairs index for repeated queries on a fixed space:
-    O(n^3) once, then O(log n) feasibility and max-size lookups. *)
+(** Precomputed all-pairs index for repeated queries: O(n^3) once, then
+    O(log n) feasibility and max-size lookups — and {e incrementally
+    maintainable} under membership churn.
+
+    The index is built over a fixed universe space whose distances never
+    change; what changes is which points are {e members}.  A membership
+    event only touches pairs the moving host participates in, plus the
+    membership counts [|S*_pq|] of pairs whose ball it falls inside, so
+    {!add_host} and {!remove_host} repair the index in O(n^2) — against
+    O(n^3) for a rebuild — while keeping the sorted-distance/prefix-max
+    query structures valid (pair distances are immutable, so mutating
+    counts in place and merging the O(n) new pairs preserves both the
+    sort order and the prefix-max invariant). *)
 module Index : sig
   type t
 
   val build : Bwc_metric.Space.t -> t
+  (** Index with every point of the space as a member. *)
+
+  val build_subset : Bwc_metric.Space.t -> int list -> t
+  (** Index over the given members only (deduplicated; order
+      irrelevant).  Raises [Invalid_argument] for out-of-range hosts. *)
+
   val size : t -> int
+  (** Current member count. *)
+
+  val members : t -> int list
+  (** Ascending host ids. *)
+
+  val is_member : t -> int -> bool
+
+  val add_host : t -> int -> unit
+  (** O(n^2) incremental join: sizes every pair the newcomer forms with a
+      current member and bumps [|S*_pq|] of every existing pair whose
+      ball contains it; the new pairs are merged into the sorted query
+      structure without re-sorting the old run.  Raises
+      [Invalid_argument] if out of range or already a member. *)
+
+  val remove_host : t -> int -> unit
+  (** O(n^2) incremental leave: drops the host's own pairs and decrements
+      [|S*_pq|] of every remaining pair whose ball contained it.  Raises
+      [Invalid_argument] for non-members. *)
 
   val find : ?verify:bool -> t -> k:int -> l:float -> int list option
-  (** Same result as {!find} on the indexed space. *)
+  (** Same result as {!find} on the space restricted to the current
+      members (hosts are reported under their universe ids). *)
 
   val exists : t -> k:int -> l:float -> bool
   val max_size : t -> l:float -> int

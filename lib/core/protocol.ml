@@ -64,6 +64,7 @@ type t = {
   trace : Trace.t option;
   mutable rounds : int;
   mutable epoch : int;               (* bumped by every repair round *)
+  mutable on_evict : int -> unit;    (* observer of detector/repair evictions *)
   mutable unacked : int;             (* live out entries awaiting an ack, system-wide *)
   mutable step_changed : bool;       (* any node changed state this round *)
   c_retransmissions : Registry.Counter.t;
@@ -152,6 +153,7 @@ let create ~rng ?(n_cut = 10) ?edge_delay ?faults ?(resend_timeout = 3)
       trace;
       rounds = 0;
       epoch = 0;
+      on_evict = ignore;
       unacked = 0;
       step_changed = false;
       c_retransmissions = Registry.counter metrics "protocol.retransmissions";
@@ -572,7 +574,10 @@ let repair_one t dead_h =
           emit t (Trace.Regraft { round = now; node = c; new_parent = p });
           relink t ~round:now c p;
           mark_root_path t p)
-        regrafts
+        regrafts;
+      (* membership observers (e.g. a maintained clustering index) apply
+         the same eviction as a delta instead of rebuilding *)
+      t.on_evict dead_h
 
 let repair t ~dead =
   let dead = List.sort_uniq compare (List.filter (fun h -> t.nodes.(h) <> None) dead) in
@@ -582,6 +587,8 @@ let repair t ~dead =
     (* the repair itself is protocol progress: re-aggregation must run *)
     t.step_changed <- true
   end
+
+let set_on_evict t f = t.on_evict <- f
 
 let crash_host t h =
   let (_ : node) = get_node t h in

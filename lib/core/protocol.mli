@@ -130,6 +130,14 @@ val repair : t -> dead:int list -> unit
     This is the incremental alternative to
     {!Bwc_predtree.Ensemble.evict_host} + {!refresh_topology}. *)
 
+val set_on_evict : t -> (int -> unit) -> unit
+(** Registers an observer called with each member evicted by {!repair}
+    (manual or detector-driven), after the ensemble and overlay have been
+    healed.  Lets owners of derived per-membership structures — e.g. a
+    maintained {!Find_cluster.Index} — apply the eviction as an O(n^2)
+    delta instead of rebuilding.  The previous observer is replaced;
+    [create] installs a no-op. *)
+
 val detector : t -> Detector.t option
 (** The failure detector, when [create] was given a config. *)
 

@@ -45,6 +45,13 @@ val query_centralized : t -> k:int -> b:float -> int list option
 (** The centralized comparison (TREE-CENTRAL): Algorithm 1 over the full
     framework-predicted space, with the exact constraint [l = C / b]. *)
 
+val index : t -> Find_cluster.Index.t
+(** The centralized index over the cached framework-predicted space,
+    built lazily on first use and shared by every subsequent centralized
+    query.  A [System] has fixed membership, so no deltas ever apply
+    here; the churn path ({!Dynamic.index}) is the one that maintains
+    its index incrementally. *)
+
 val real_bw : t -> int -> int -> float
 val predicted_bw : t -> int -> int -> float
 

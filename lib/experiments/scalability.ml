@@ -73,6 +73,123 @@ let concaveish output =
       let second = arr.(m - 1).avg_hops -. arr.(mid).avg_hops in
       second <= first +. 0.75
 
+(* ----- E14: incremental index maintenance under churn ----- *)
+
+module Index = Bwc_core.Find_cluster.Index
+module Span = Bwc_obs.Span
+
+type churn_row = {
+  cn : int;
+  events : int;
+  incremental_s : float;
+  rebuild_s : float;
+  speedup : float;
+  checks : int;
+  divergence : int;
+}
+
+(* drive one churn sequence over a fixed universe space: the maintained
+   index absorbs each membership event as an O(n^2) delta while the
+   rebuild arm pays a fresh O(n^3) [Index.build_subset]; every event the
+   two are differentially compared on random queries *)
+let churn_one ~rng ~space ~events ~checks_per_event =
+  let n = space.Bwc_metric.Space.n in
+  let is_member = Array.make n false in
+  let initial = Rng.sample_without_replacement rng (Stdlib.max 2 (3 * n / 4)) n in
+  Array.iter (fun h -> is_member.(h) <- true) initial;
+  let members () =
+    List.filter (fun h -> is_member.(h)) (List.init n Fun.id)
+  in
+  let ds_values =
+    Bwc_metric.Dmatrix.off_diagonal_values (Bwc_metric.Space.to_dmatrix space)
+  in
+  let lo = Bwc_stats.Summary.percentile ds_values 5.0
+  and hi = Bwc_stats.Summary.percentile ds_values 95.0 in
+  let inc_span = Span.create "incremental" and reb_span = Span.create "rebuild" in
+  let idx = Index.build_subset space (members ()) in
+  let divergence = ref 0 and checks = ref 0 in
+  for _ = 1 to events do
+    let ins = List.filter (fun h -> not is_member.(h)) (List.init n Fun.id) in
+    let outs = members () in
+    (* joins and leaves alternate at random, never emptying the system
+       or overfilling the universe *)
+    let joining =
+      match ins, outs with
+      | [], _ -> false
+      | _, ([] | [ _ ]) -> true
+      | _ -> Rng.bool rng
+    in
+    let h = Rng.choose rng (Array.of_list (if joining then ins else outs)) in
+    is_member.(h) <- joining;
+    Span.time inc_span (fun () ->
+        if joining then Index.add_host idx h else Index.remove_host idx h);
+    let rebuilt = Span.time reb_span (fun () -> Index.build_subset space (members ())) in
+    let a = Index.size idx in
+    for _ = 1 to checks_per_event do
+      incr checks;
+      let k = 2 + Rng.int rng (Stdlib.max 1 (a - 1)) in
+      let l = Rng.uniform rng lo hi in
+      if Index.exists idx ~k ~l <> Index.exists rebuilt ~k ~l then incr divergence;
+      if Index.max_size idx ~l <> Index.max_size rebuilt ~l then incr divergence;
+      if Index.find idx ~k ~l <> Index.find rebuilt ~k ~l then incr divergence
+    done
+  done;
+  (Span.total_s inc_span, Span.total_s reb_span, !checks, !divergence)
+
+let churn_sweep ?(sizes = [ 64; 128; 256 ]) ?(events_per_size = 16)
+    ?(checks_per_event = 4) ~seed () =
+  List.map
+    (fun n ->
+      let rng = Rng.create (seed + (13 * n)) in
+      let space =
+        Bwc_metric.Space.of_dmatrix
+          (Bwc_dataset.Hier_tree.distance_matrix ~rng:(Rng.create (seed + n)) ~n ())
+      in
+      let incremental_s, rebuild_s, checks, divergence =
+        churn_one ~rng ~space ~events:events_per_size ~checks_per_event
+      in
+      {
+        cn = n;
+        events = events_per_size;
+        incremental_s;
+        rebuild_s;
+        speedup = rebuild_s /. Float.max 1e-9 incremental_s;
+        checks;
+        divergence;
+      })
+    (List.sort compare sizes)
+
+let churn_divergence rows = List.fold_left (fun acc r -> acc + r.divergence) 0 rows
+
+let print_churn rows =
+  Report.table ~title:"E14 incremental index maintenance under churn"
+    ~headers:[ "n"; "events"; "incremental"; "rebuild"; "speedup"; "checks"; "diverged" ]
+    (List.map
+       (fun r ->
+         [
+           Report.i r.cn;
+           Report.i r.events;
+           Printf.sprintf "%.2f ms" (1e3 *. r.incremental_s);
+           Printf.sprintf "%.2f ms" (1e3 *. r.rebuild_s);
+           Printf.sprintf "%.1fx" r.speedup;
+           Report.i r.checks;
+           Report.i r.divergence;
+         ])
+       rows)
+
+let save_churn_json rows ~seed path =
+  let oc = open_out path in
+  let row_json r =
+    Printf.sprintf
+      "    {\"n\": %d, \"events\": %d, \"incremental_s\": %.6f, \"rebuild_s\": %.6f, \
+       \"speedup\": %.2f, \"checks\": %d, \"divergence\": %d}"
+      r.cn r.events r.incremental_s r.rebuild_s r.speedup r.checks r.divergence
+  in
+  Printf.fprintf oc "{\n  \"bench\": \"index_churn\",\n  \"seed\": %d,\n  \"rows\": [\n%s\n  ]\n}\n"
+    seed
+    (String.concat ",\n" (List.map row_json rows));
+  close_out oc
+
 let print output =
   Report.table
     ~title:(Printf.sprintf "Fig.6 query routing scalability -- %s" output.base_dataset)

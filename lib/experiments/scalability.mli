@@ -35,3 +35,38 @@ val concaveish : output -> bool
 val print : output -> unit
 
 val save_csv : output -> string -> unit
+
+(** {2 E14 — incremental index maintenance under churn}
+
+    A fixed tree-metric universe per size [n]; membership churns through
+    random joins and leaves.  The maintained {!Bwc_core.Find_cluster.Index}
+    absorbs each event as an O(n^2) delta while a second arm rebuilds
+    from scratch at O(n^3); both arms are timed (via {!Bwc_obs.Span}) and
+    differentially compared on random [(k, l)] queries after every
+    event.  Any divergence is a correctness bug; the timing ratio is the
+    speedup the dynamic hot path gains from incremental maintenance. *)
+
+type churn_row = {
+  cn : int;             (** universe size *)
+  events : int;         (** membership events applied *)
+  incremental_s : float;(** wall seconds spent applying deltas *)
+  rebuild_s : float;    (** wall seconds spent rebuilding per event *)
+  speedup : float;      (** [rebuild_s /. incremental_s] *)
+  checks : int;         (** differential query comparisons *)
+  divergence : int;     (** disagreements — must be 0 *)
+}
+
+val churn_sweep :
+  ?sizes:int list -> ?events_per_size:int -> ?checks_per_event:int ->
+  seed:int -> unit -> churn_row list
+(** Defaults: sizes 64/128/256, 16 events per size, 4 differential
+    checks per event.  Rows ascend in [n]. *)
+
+val churn_divergence : churn_row list -> int
+(** Total disagreements across the sweep (the acceptance gate). *)
+
+val print_churn : churn_row list -> unit
+
+val save_churn_json : churn_row list -> seed:int -> string -> unit
+(** Writes the sweep as JSON ([BENCH_index.json] schema; see
+    EXPERIMENTS.md E14). *)

@@ -1,0 +1,236 @@
+(* Seeded property-based differential harness.
+
+   Three properties, each over freshly generated random spaces:
+
+   1. churn-differential — after ANY sequence of Index.add_host /
+      Index.remove_host events, the incrementally maintained
+      Find_cluster.Index answers (exists, max_size, max_sizes, find)
+      exactly as a fresh Index.build_subset of the same membership;
+   2. alg1-oracle-tree — on exact tree metrics Algorithm 1 agrees with
+      the exact Bron-Kerbosch clique oracle on every (k, l) query;
+   3. alg1-oracle-noisy — on noisy near-tree spaces the two may disagree
+      only in the direction WPR permits (Algorithm 1 claiming a cluster
+      the real space does not have, never missing one that exists).
+
+   The harness is deliberately NOT an alcotest suite: its stdout is
+   fully deterministic for a given seed (no timings), so two runs with
+   the same seed must be byte-identical — CI asserts exactly that.
+   Every failure prints the case index and the seed environment needed
+   to replay it:
+
+     BWC_PROP_SEED=<seed> BWC_PROP_CASES=<cases> dune exec test/prop.exe *)
+
+module Rng = Bwc_stats.Rng
+module Space = Bwc_metric.Space
+module Tree = Bwc_predtree.Tree
+module Find_cluster = Bwc_core.Find_cluster
+module Index = Find_cluster.Index
+module Clique = Bwc_core.Clique
+
+let seed =
+  match Sys.getenv_opt "BWC_PROP_SEED" with
+  | Some s -> int_of_string s
+  | None -> 2026
+
+let cases =
+  match Sys.getenv_opt "BWC_PROP_CASES" with
+  | Some s -> int_of_string s
+  | None -> 200
+
+let fail_case prop case fmt =
+  Printf.printf "FAIL %s case=%d (replay: BWC_PROP_SEED=%d BWC_PROP_CASES=%d)\n" prop
+    case seed cases;
+  Printf.ksprintf
+    (fun msg ->
+      Printf.printf "  %s\n" msg;
+      exit 1)
+    fmt
+
+(* case rngs are derived from (seed, case) so a single failing case can
+   be replayed without re-running its predecessors *)
+let case_rng case = Rng.create ((seed * 1_000_003) + case)
+
+(* ----- generators ----- *)
+
+(* A random exact tree metric grown through Bwc_predtree.Tree itself:
+   hosts are inserted one by one at random positions along random paths,
+   exactly the degrees of freedom Gromov placement uses.  Path-sum
+   distances in a tree are a tree metric by construction. *)
+let tree_metric_space rng n =
+  let tree = Tree.create () in
+  let (_ : Tree.vertex) = Tree.add_first_host tree ~host:0 in
+  for h = 1 to n - 1 do
+    let vc = Tree.vertex_count tree in
+    let z = Rng.int rng vc in
+    let y = if vc = 1 then z else (z + 1 + Rng.int rng (vc - 1)) mod vc in
+    let at = Rng.float rng (Float.max 1e-6 (Tree.dist tree z y)) in
+    let leaf_weight = 0.1 +. Rng.float rng 10.0 in
+    let (_ : Tree.vertex * Tree.vertex * int * float) =
+      Tree.add_host tree ~host:h ~between:(z, y) ~at ~leaf_weight
+    in
+    ()
+  done;
+  Space.cached
+    (Space.make ~n ~dist:(fun i j -> if i = j then 0.0 else Tree.host_dist tree i j))
+
+(* A noisy near-tree space: the hierarchical ISP-topology generator
+   degraded by multiplicative log-normal noise (the same degradation the
+   treeness experiment sweeps). *)
+let noisy_space rng ~sigma n =
+  let ds =
+    Bwc_dataset.Hier_tree.generate ~rng:(Rng.split rng) ~n ~name:"prop-noisy" ()
+  in
+  let ds = Bwc_dataset.Noise.multiplicative ~rng:(Rng.split rng) ~sigma ds in
+  Space.cached (Bwc_dataset.Dataset.metric ds)
+
+let off_diag_values space =
+  Bwc_metric.Dmatrix.off_diagonal_values (Space.to_dmatrix space)
+
+(* ----- property 1: churn differential ----- *)
+
+let check_agreement prop case ~event idx rebuilt ~k ~l =
+  if Index.members idx <> Index.members rebuilt then
+    fail_case prop case "event %d: member lists differ" event;
+  let e_inc = Index.exists idx ~k ~l and e_reb = Index.exists rebuilt ~k ~l in
+  if e_inc <> e_reb then
+    fail_case prop case "event %d: exists k=%d l=%.9g: incremental %b, rebuilt %b" event
+      k l e_inc e_reb;
+  let m_inc = Index.max_size idx ~l and m_reb = Index.max_size rebuilt ~l in
+  if m_inc <> m_reb then
+    fail_case prop case "event %d: max_size l=%.9g: incremental %d, rebuilt %d" event l
+      m_inc m_reb;
+  let f_inc = Index.find idx ~k ~l and f_reb = Index.find rebuilt ~k ~l in
+  if f_inc <> f_reb then
+    fail_case prop case "event %d: find k=%d l=%.9g diverged" event k l
+
+let churn_differential () =
+  let prop = "churn-differential" in
+  let total_events = ref 0 and total_checks = ref 0 in
+  for case = 0 to cases - 1 do
+    let rng = case_rng case in
+    let n = 8 + Rng.int rng 17 in
+    let space =
+      if Rng.bool rng then tree_metric_space rng n
+      else noisy_space rng ~sigma:(0.1 +. Rng.float rng 0.4) n
+    in
+    let values = off_diag_values space in
+    let l_max = Array.fold_left Float.max 0.0 values in
+    let is_member = Array.make n false in
+    let m0 = Rng.int rng (n + 1) in
+    Array.iter (fun h -> is_member.(h) <- true) (Rng.sample_without_replacement rng m0 n);
+    let members () = List.filter (fun h -> is_member.(h)) (List.init n Fun.id) in
+    let idx = Index.build_subset space (members ()) in
+    let events = 6 + Rng.int rng 10 in
+    for event = 1 to events do
+      incr total_events;
+      let ins = List.filter (fun h -> not is_member.(h)) (List.init n Fun.id) in
+      let outs = members () in
+      let joining =
+        match ins, outs with [], _ -> false | _, [] -> true | _ -> Rng.bool rng
+      in
+      let h = Rng.choose rng (Array.of_list (if joining then ins else outs)) in
+      is_member.(h) <- joining;
+      if joining then Index.add_host idx h else Index.remove_host idx h;
+      let rebuilt = Index.build_subset space (members ()) in
+      (* probe with arbitrary thresholds and with exact pair distances
+         (the tie-heavy case the sorted structure must survive) *)
+      for _ = 1 to 4 do
+        incr total_checks;
+        let k = 2 + Rng.int rng (Stdlib.max 1 (n - 1)) in
+        let l =
+          if Rng.bool rng || Array.length values = 0 then
+            Rng.float rng (Float.max 1e-6 (l_max *. 1.1))
+          else values.(Rng.int rng (Array.length values))
+        in
+        check_agreement prop case ~event idx rebuilt ~k ~l
+      done;
+      incr total_checks;
+      let ls = Array.init 6 (fun i -> float_of_int i *. l_max /. 5.0) in
+      if Index.max_sizes idx ~ls <> Index.max_sizes rebuilt ~ls then
+        fail_case prop case "event %d: max_sizes vector diverged" event
+    done
+  done;
+  Printf.printf "%s: %d sequences, %d events, %d checks, 0 divergences [ok]\n" prop
+    cases !total_events !total_checks
+
+(* ----- properties 2 & 3: Algorithm 1 vs the Bron-Kerbosch oracle ----- *)
+
+(* thresholds placed mid-gap between distinct pairwise distances, so no
+   float-rounding ambiguity about which pairs a threshold admits; the
+   extremes probe the trivially-infeasible and trivially-feasible ends *)
+let midgap_thresholds values =
+  let sorted = Array.copy values in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let out = ref [ sorted.(0) *. 0.5; sorted.(n - 1) *. 1.5 ] in
+  for i = 0 to n - 2 do
+    let a = sorted.(i) and b = sorted.(i + 1) in
+    if b -. a > 1e-7 *. b then out := ((a +. b) /. 2.0) :: !out
+  done;
+  Array.of_list (List.rev !out)
+
+let oracle_tree () =
+  let prop = "alg1-oracle-tree" in
+  let n_cases = Stdlib.max 1 (cases / 2) in
+  let queries = ref 0 in
+  for case = 0 to n_cases - 1 do
+    let rng = case_rng (100_000 + case) in
+    let n = 6 + Rng.int rng 7 in
+    let space = tree_metric_space rng n in
+    let thresholds = midgap_thresholds (off_diag_values space) in
+    for _ = 1 to 12 do
+      incr queries;
+      let k = 2 + Rng.int rng (n - 1) in
+      let l = thresholds.(Rng.int rng (Array.length thresholds)) in
+      let alg1 = Find_cluster.exists space ~k ~l in
+      match Clique.exists_cluster space ~k ~l with
+      | Clique.Feasible _ ->
+          if not alg1 then
+            fail_case prop case "k=%d l=%.9g: oracle feasible, Algorithm 1 missed" k l
+      | Clique.Infeasible ->
+          if alg1 then
+            fail_case prop case
+              "k=%d l=%.9g: Algorithm 1 claims a cluster on an exact tree metric the \
+               oracle refutes"
+              k l
+      | Clique.Unknown -> ()
+    done
+  done;
+  Printf.printf "%s: %d cases, %d queries, 0 disagreements [ok]\n" prop n_cases !queries
+
+let oracle_noisy () =
+  let prop = "alg1-oracle-noisy" in
+  let n_cases = Stdlib.max 1 (cases / 2) in
+  let queries = ref 0 and one_sided = ref 0 in
+  for case = 0 to n_cases - 1 do
+    let rng = case_rng (200_000 + case) in
+    let n = 6 + Rng.int rng 7 in
+    let space = noisy_space rng ~sigma:(0.2 +. Rng.float rng 0.3) n in
+    let thresholds = midgap_thresholds (off_diag_values space) in
+    for _ = 1 to 12 do
+      incr queries;
+      let k = 2 + Rng.int rng (n - 1) in
+      let l = thresholds.(Rng.int rng (Array.length thresholds)) in
+      let alg1 = Find_cluster.exists space ~k ~l in
+      match Clique.exists_cluster space ~k ~l with
+      | Clique.Feasible _ ->
+          (* Algorithm 1 is complete on every metric: the diameter pair
+             (p,q) of a real cluster admits all its members into S*_pq *)
+          if not alg1 then
+            fail_case prop case
+              "k=%d l=%.9g: oracle feasible but Algorithm 1 missed — disagreement in \
+               the forbidden direction"
+              k l
+      | Clique.Infeasible -> if alg1 then incr one_sided
+      | Clique.Unknown -> ()
+    done
+  done;
+  Printf.printf "%s: %d cases, %d queries (%d one-sided), 0 forbidden [ok]\n" prop
+    n_cases !queries !one_sided
+
+let () =
+  Printf.printf "bwc property harness (seed %d, %d churn sequences)\n" seed cases;
+  churn_differential ();
+  oracle_tree ();
+  oracle_noisy ();
+  Printf.printf "all properties hold\n"

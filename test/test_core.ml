@@ -150,6 +150,64 @@ let test_index_max_sizes_vector () =
     if sizes.(i) < sizes.(i - 1) then Alcotest.fail "max size must grow with l"
   done
 
+let test_index_incremental_grow_shrink () =
+  (* grow one host at a time from empty to full, then shrink back: every
+     intermediate incremental index must be indistinguishable from a
+     fresh build over the same membership *)
+  let n = 14 in
+  let space = tree_space ~seed:7 n in
+  let values = Bwc_metric.Dmatrix.off_diagonal_values (Space.to_dmatrix space) in
+  let probes =
+    List.map (fun pct -> Bwc_stats.Summary.percentile values pct) [ 15.0; 50.0; 85.0 ]
+  in
+  let agree idx members =
+    let fresh = Find_cluster.Index.build_subset space members in
+    Alcotest.(check (list int)) "members" (Find_cluster.Index.members fresh)
+      (Find_cluster.Index.members idx);
+    List.iter
+      (fun l ->
+        Alcotest.(check int) "max_size" (Find_cluster.Index.max_size fresh ~l)
+          (Find_cluster.Index.max_size idx ~l);
+        List.iter
+          (fun k ->
+            Alcotest.(check (option (list int))) "find"
+              (Find_cluster.Index.find fresh ~k ~l)
+              (Find_cluster.Index.find idx ~k ~l))
+          [ 2; 3; 5 ])
+      probes
+  in
+  let idx = Find_cluster.Index.build_subset space [] in
+  for h = 0 to n - 1 do
+    Find_cluster.Index.add_host idx h;
+    agree idx (List.init (h + 1) Fun.id)
+  done;
+  (* full incremental index equals a from-scratch full build *)
+  agree idx (List.init n Fun.id);
+  for h = n - 1 downto 1 do
+    Find_cluster.Index.remove_host idx h;
+    agree idx (List.init h Fun.id)
+  done;
+  Alcotest.(check int) "one member left" 1 (Find_cluster.Index.size idx)
+
+let test_index_delta_contract () =
+  let space = tree_space ~seed:8 10 in
+  let idx = Find_cluster.Index.build_subset space [ 0; 2; 4 ] in
+  let raises f = try f (); false with Invalid_argument _ -> true in
+  Alcotest.(check bool) "double add rejected" true
+    (raises (fun () -> Find_cluster.Index.add_host idx 2));
+  Alcotest.(check bool) "non-member remove rejected" true
+    (raises (fun () -> Find_cluster.Index.remove_host idx 3));
+  Alcotest.(check bool) "out-of-range add rejected" true
+    (raises (fun () -> Find_cluster.Index.add_host idx 10));
+  (* leave then re-join lands back on the identical index state *)
+  let before = Find_cluster.Index.max_sizes idx ~ls:[| 1.0; 100.0; 1e4 |] in
+  Find_cluster.Index.remove_host idx 2;
+  Find_cluster.Index.add_host idx 2;
+  Alcotest.(check (list int)) "members restored" [ 0; 2; 4 ]
+    (Find_cluster.Index.members idx);
+  Alcotest.(check (array int)) "answers restored" before
+    (Find_cluster.Index.max_sizes idx ~ls:[| 1.0; 100.0; 1e4 |])
+
 (* ----- Classes ----- *)
 
 let test_classes_mapping () =
@@ -692,6 +750,36 @@ let test_detector_heals_crash () =
           | _ -> false)))
     orphans
 
+let test_eviction_drives_index_delta () =
+  (* the wiring Dynamic relies on: a clustering index registered through
+     [Protocol.set_on_evict] follows a detector-driven eviction as an
+     incremental delta and matches a fresh build over the survivors *)
+  let ds = small_dataset ~seed:97 20 in
+  let space = Bwc_metric.Space.cached (Bwc_dataset.Dataset.metric ds) in
+  let classes = Classes.of_percentiles ~count:5 ds in
+  let ens = Ensemble.build ~rng:(Rng.create 98) space in
+  let p =
+    Protocol.create ~rng:(Rng.create 99) ~n_cut:4 ~detector:Detector.default_config
+      ~classes ens
+  in
+  let (_ : int) = Protocol.run_aggregation ~max_rounds:600 p in
+  let idx = Find_cluster.Index.build_subset space (Ensemble.members ens) in
+  Protocol.set_on_evict p (fun h ->
+      if Find_cluster.Index.is_member idx h then Find_cluster.Index.remove_host idx h);
+  let victim = find_midtree_victim ens in
+  Protocol.crash_host p victim;
+  let (_ : int) = drive_until_healed p ~until_repairs:1 in
+  Alcotest.(check bool) "victim left the index" false
+    (Find_cluster.Index.is_member idx victim);
+  let fresh = Find_cluster.Index.build_subset space (Ensemble.members ens) in
+  Alcotest.(check (list int)) "members match survivors"
+    (Find_cluster.Index.members fresh)
+    (Find_cluster.Index.members idx);
+  let ls = [| 10.0; 100.0; 1000.0 |] in
+  Alcotest.(check (array int)) "answers match a fresh build"
+    (Find_cluster.Index.max_sizes fresh ~ls)
+    (Find_cluster.Index.max_sizes idx ~ls)
+
 let test_incremental_repair_matches_full () =
   (* the tentpole property: manual incremental repair reaches the same
      fixed point as eviction + full re-propagation, in fewer messages *)
@@ -1007,6 +1095,40 @@ let test_dynamic_join_leave () =
        false
      with Invalid_argument _ -> true)
 
+let test_dynamic_maintained_index () =
+  let ds = small_dataset ~seed:52 24 in
+  let dyn =
+    Bwc_core.Dynamic.create ~seed:53 ~initial_members:(List.init 16 Fun.id) ds
+  in
+  let check_tracks () =
+    Alcotest.(check (list int)) "index tracks membership"
+      (List.sort compare (Bwc_core.Dynamic.members dyn))
+      (Find_cluster.Index.members (Bwc_core.Dynamic.index dyn))
+  in
+  (* materialise the index, then churn: joins and leaves must flow into
+     it as deltas *)
+  check_tracks ();
+  Bwc_core.Dynamic.join dyn 20;
+  Bwc_core.Dynamic.leave dyn 3;
+  Bwc_core.Dynamic.apply dyn [ Bwc_sim.Churn.Join 21; Bwc_sim.Churn.Leave 7 ];
+  check_tracks ();
+  (* the centralized query path answers from the maintained index with a
+     cluster that satisfies the converted bandwidth constraint *)
+  let b = 25.0 in
+  match Bwc_core.Dynamic.query_centralized dyn ~k:4 ~b with
+  | None -> Alcotest.fail "easy centralized query must succeed"
+  | Some cluster ->
+      Alcotest.(check int) "size" 4 (List.length cluster);
+      List.iter
+        (fun h ->
+          if not (Bwc_core.Dynamic.is_member dyn h) then
+            Alcotest.failf "non-member %d in centralized cluster" h)
+        cluster;
+      let space = Bwc_dataset.Dataset.metric ds in
+      let l = Bwc_metric.Bandwidth.to_distance b in
+      Alcotest.(check bool) "diameter within constraint" true
+        (Space.diameter space cluster <= l *. (1.0 +. Find_cluster.diam_tol))
+
 let test_dynamic_theorem_3_3_after_churn () =
   (* aggregated CRT entries stay exact on the surviving overlay *)
   let ds = small_dataset ~seed:44 24 in
@@ -1312,6 +1434,9 @@ let () =
           Alcotest.test_case "infeasible cases" `Quick test_find_infeasible;
           Alcotest.test_case "index consistency" `Quick test_index_consistency;
           Alcotest.test_case "index max_sizes" `Quick test_index_max_sizes_vector;
+          Alcotest.test_case "index incremental grow/shrink" `Quick
+            test_index_incremental_grow_shrink;
+          Alcotest.test_case "index delta contract" `Quick test_index_delta_contract;
         ] );
       ( "classes",
         [
@@ -1348,6 +1473,8 @@ let () =
           Alcotest.test_case "detector heals a crash" `Quick test_detector_heals_crash;
           Alcotest.test_case "incremental repair matches full" `Quick
             test_incremental_repair_matches_full;
+          Alcotest.test_case "eviction drives index delta" `Quick
+            test_eviction_drives_index_delta;
           Alcotest.test_case "routing detours suspects" `Quick
             test_routing_detours_suspects;
           Alcotest.test_case "query on empty membership" `Quick
@@ -1377,6 +1504,8 @@ let () =
       ( "dynamic",
         [
           Alcotest.test_case "join and leave" `Quick test_dynamic_join_leave;
+          Alcotest.test_case "maintained index under churn" `Quick
+            test_dynamic_maintained_index;
           Alcotest.test_case "Theorem 3.3 after churn" `Quick
             test_dynamic_theorem_3_3_after_churn;
           Alcotest.test_case "random churn invariants" `Quick
