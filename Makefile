@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-index prop examples clean doc lint lint-json trace metrics
+.PHONY: all build test bench bench-full bench-index restart prop examples clean doc lint lint-json trace metrics
 
 all: build
 
@@ -40,6 +40,14 @@ bench-full:
 # any incremental-vs-rebuild divergence
 bench-index:
 	dune exec bench/main.exe -- --index-only
+
+# E15: snapshot round trip (byte-identity checked with cmp) plus the
+# warm-vs-cold restart experiment with its acceptance gate (exit 3)
+restart:
+	dune exec bin/bwcluster.exe -- snapshot --dataset hp-small --hosts 40 -o system.bwcsnap
+	dune exec bin/bwcluster.exe -- restore -i system.bwcsnap --resnapshot system-2.bwcsnap
+	cmp system.bwcsnap system-2.bwcsnap
+	dune exec bin/bwcluster.exe -- restart --dataset hp-small --hosts 64 --seed 3 --json restart.json
 
 # seeded property harness (differential churn + Alg1-vs-oracle); replay
 # a failure with BWC_PROP_SEED=<seed> BWC_PROP_CASES=<cases> make prop

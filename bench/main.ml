@@ -126,6 +126,21 @@ let ablations () =
   in
   Bwc_experiments.Robustness.print out
 
+let restart () =
+  section "Crash-consistent restart: warm restore vs cold reconvergence  [E15]";
+  let ds = hp_dataset ~seed:11 in
+  let want = if full then Dataset.size ds else 64 in
+  let small =
+    if want < Dataset.size ds then Dataset.random_subset ds ~rng:(Rng.create 63) want
+    else ds
+  in
+  let out =
+    Bwc_experiments.Robustness.restart
+      ~queries:(if full then 200 else 60)
+      ~seed:3 small
+  in
+  Bwc_experiments.Robustness.print_restart out
+
 let index_churn () =
   section "Incremental index maintenance under churn  [E14]";
   let sizes = if full then [ 64; 128; 256; 384 ] else [ 64; 128; 256 ] in
@@ -242,7 +257,7 @@ let run_micro () =
    is the one place wall time belongs). *)
 let spans =
   List.map Bwc_obs.Span.create
-    [ "fig3"; "fig4"; "fig5"; "fig6"; "ablations"; "index-churn"; "micro" ]
+    [ "fig3"; "fig4"; "fig5"; "fig6"; "ablations"; "restart"; "index-churn"; "micro" ]
 
 let timed name f =
   let span = List.find (fun s -> Bwc_obs.Span.name s = name) spans in
@@ -262,7 +277,8 @@ let () =
     timed "fig4" fig4;
     timed "fig5" fig5;
     timed "fig6" fig6;
-    timed "ablations" ablations
+    timed "ablations" ablations;
+    timed "restart" restart
   end;
   timed "index-churn" index_churn;
   if not index_only then timed "micro" run_micro;

@@ -6,6 +6,21 @@
 
 open Cmdliner
 
+(* Exit codes (documented in README.md): bad arguments and experiment-gate
+   failures must be distinguishable to CI.
+
+     0    success
+     3    an experiment's acceptance gate failed (divergence, missed
+          speedup target, corrupted arm restored, ...)
+     4    `restore` rejected the snapshot and no --cold-fallback was given
+     124  bad command line (Cmdliner's cli_error)
+
+   Everything that validates user input exits with
+   [Cmd.Exit.cli_error]; everything that checks a result exits with
+   [exit_gate]. *)
+let exit_gate = 3
+let exit_snapshot_rejected = 4
+
 let seed_arg =
   let doc = "Random seed (experiments derive per-round seeds from it)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
@@ -136,7 +151,7 @@ let scalability seed full dataset churn json csv =
     let diverged = Bwc_experiments.Scalability.churn_divergence rows in
     if diverged > 0 then begin
       Format.eprintf "churn sweep: %d differential divergences@." diverged;
-      exit 1
+      exit exit_gate
     end
   end
   else begin
@@ -297,6 +312,203 @@ let robustness_cmd =
     Term.(
       const robustness $ seed_arg $ full_arg $ dataset_arg $ hosts $ recover
       $ csv_arg)
+
+(* ----- crash-consistent restart (E15) ----- *)
+
+let hosts_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "hosts" ] ~docv:"N"
+        ~doc:"Restrict the dataset to a random N-host subset (quick runs).")
+
+let subset_hosts ~seed hosts ds =
+  (match hosts with
+  | Some h when h < 2 ->
+      Format.eprintf "bwcluster: --hosts must be at least 2@.";
+      exit Cmdliner.Cmd.Exit.cli_error
+  | _ -> ());
+  match hosts with
+  | Some h when h < Bwc_dataset.Dataset.size ds ->
+      Bwc_dataset.Dataset.random_subset ds ~rng:(Bwc_stats.Rng.create seed) h
+  | _ -> ds
+
+let restart seed full dataset hosts json csv =
+  let ds = subset_hosts ~seed hosts (load_dataset ~seed dataset) in
+  let queries = if full then 200 else 60 in
+  let out = Bwc_experiments.Robustness.restart ~queries ~seed ds in
+  Bwc_experiments.Robustness.print_restart out;
+  maybe_csv csv Bwc_experiments.Robustness.save_restart_csv out;
+  (match json with
+  | Some path ->
+      Bwc_experiments.Robustness.save_restart_json out ~seed path;
+      Format.printf "json written to %s@." path
+  | None -> ());
+  (* acceptance gate: the warm restore must verify and land on the
+     reference fixed point, every corrupted image must be rejected, and
+     at experiment scale the restart must actually be cheap *)
+  let module R = Bwc_experiments.Robustness in
+  let failures =
+    List.concat_map
+      (fun (r : R.restart_row) ->
+        match r.R.mode with
+        | "warm" ->
+            (if r.R.restore_ok then [] else [ "warm restore was rejected" ])
+            @ (if r.R.fixpoint_match then []
+               else [ "warm restore missed the reference fixed point" ])
+            @ (if out.R.n < 64 then []
+               else if r.R.round_speedup < 5.0 then
+                 [
+                   Printf.sprintf "warm round speedup %.2f < 5 at n=%d"
+                     r.R.round_speedup out.R.n;
+                 ]
+               else if r.R.msg_speedup < 5.0 then
+                 [
+                   Printf.sprintf "warm message speedup %.2f < 5 at n=%d"
+                     r.R.msg_speedup out.R.n;
+                 ]
+               else [])
+        | "cold" -> []
+        | mode ->
+            if r.R.restore_ok then [ mode ^ " snapshot was not rejected" ]
+            else [])
+      out.R.rows
+  in
+  if failures <> [] then begin
+    List.iter (fun m -> Format.eprintf "restart gate: %s@." m) failures;
+    exit exit_gate
+  end
+
+let restart_cmd =
+  let doc =
+    "E15: whole-system crash and restart.  Warm restore from a verified \
+     snapshot vs cold reconvergence, plus corrupted-snapshot arms \
+     (truncation, bit flips, stale format version) that must degrade \
+     gracefully.  Exits 3 when the acceptance gate fails."
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the result as JSON.")
+  in
+  Cmd.v (Cmd.info "restart" ~doc)
+    Term.(
+      const restart $ seed_arg $ full_arg $ dataset_arg $ hosts_arg $ json
+      $ csv_arg)
+
+(* ----- snapshot / restore ----- *)
+
+let snapshot seed dataset hosts output =
+  let ds = subset_hosts ~seed hosts (load_dataset ~seed dataset) in
+  let sys = Bwc_core.System.create ~seed ds in
+  let image = Bwc_persist.Snapshot.encode (`System sys) in
+  Bwc_persist.Codec.write_file output image;
+  Format.printf "wrote %s: %d bytes, %d hosts, converged in %d rounds@." output
+    (String.length image) (Bwc_core.System.size sys)
+    (Bwc_core.Protocol.rounds_run (Bwc_core.System.protocol sys))
+
+let snapshot_cmd =
+  let doc =
+    "Stand up a system over a dataset, run aggregation to quiescence and \
+     write a crash-consistent snapshot of the whole system state."
+  in
+  let output =
+    Arg.(
+      value
+      & opt string "system.bwcsnap"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Snapshot output path.")
+  in
+  Cmd.v (Cmd.info "snapshot" ~doc)
+    Term.(const snapshot $ seed_arg $ dataset_arg $ hosts_arg $ output)
+
+let restore seed dataset hosts input resnapshot cold_fallback k b =
+  let bytes =
+    try Bwc_persist.Codec.read_file input
+    with Sys_error msg ->
+      Format.eprintf "bwcluster: cannot read snapshot: %s@." msg;
+      exit Cmdliner.Cmd.Exit.cli_error
+  in
+  (* re-snapshot before the proving query: the query draws a submission
+     point from the system RNG, and the restored image must stay
+     byte-identical to what was on disk *)
+  let resnap source =
+    match resnapshot with
+    | Some path ->
+        Bwc_persist.Codec.write_file path (Bwc_persist.Snapshot.encode source);
+        Format.printf "re-snapshot written to %s@." path
+    | None -> ()
+  in
+  let prove_system ~warm sys =
+    Format.printf "%s: %d hosts live at round %d@."
+      (if warm then "restored warm" else "cold start")
+      (Bwc_core.System.size sys)
+      (Bwc_core.Protocol.current_round (Bwc_core.System.protocol sys));
+    resnap (`System sys);
+    Format.printf "query: %a@." Bwc_core.Query.pp_result
+      (Bwc_core.System.query sys ~k ~b)
+  in
+  match Bwc_persist.Snapshot.decode bytes with
+  | Ok (Bwc_persist.Snapshot.Restored_system sys) -> prove_system ~warm:true sys
+  | Ok (Bwc_persist.Snapshot.Restored_dynamic dyn) ->
+      Format.printf "restored warm: %d members live@."
+        (Bwc_core.Dynamic.member_count dyn);
+      resnap (`Dynamic dyn);
+      Format.printf "query: %a@." Bwc_core.Query.pp_result
+        (Bwc_core.Dynamic.query dyn ~k ~b)
+  | Error e ->
+      Format.eprintf "bwcluster: persist.restore_rejected: %s@."
+        (Bwc_persist.Codec.error_to_string e);
+      if not cold_fallback then exit exit_snapshot_rejected;
+      Format.printf "falling back to cold reconvergence over --dataset %s@."
+        dataset;
+      prove_system ~warm:false
+        (Bwc_core.System.create ~seed
+           (subset_hosts ~seed hosts (load_dataset ~seed dataset)))
+
+let restore_cmd =
+  let doc =
+    "Restore a system from a snapshot file and prove it is live with one \
+     query.  A rejected snapshot (truncated, bit-flipped, stale version, or \
+     semantically invalid) exits 4 — or, with $(b,--cold-fallback), rebuilds \
+     the system from $(b,--dataset) with full reconvergence and exits 0."
+  in
+  let input =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "i"; "input" ] ~docv:"FILE" ~doc:"Snapshot file to restore from.")
+  in
+  let resnapshot =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "resnapshot" ] ~docv:"FILE"
+          ~doc:
+            "Write the restored system's own snapshot to $(docv); it must be \
+             byte-identical to the input (CI checks with cmp).")
+  in
+  let cold_fallback =
+    Arg.(
+      value & flag
+      & info [ "cold-fallback" ]
+          ~doc:
+            "On a rejected snapshot, rebuild from $(b,--dataset) instead of \
+             exiting 4.")
+  in
+  let k =
+    Arg.(value & opt int 8 & info [ "k" ] ~docv:"K" ~doc:"Proving-query cluster size.")
+  in
+  let b =
+    Arg.(
+      value
+      & opt float 40.0
+      & info [ "b" ] ~docv:"MBPS" ~doc:"Proving-query bandwidth constraint (Mbps).")
+  in
+  Cmd.v (Cmd.info "restore" ~doc)
+    Term.(
+      const restore $ seed_arg $ dataset_arg $ hosts_arg $ input $ resnapshot
+      $ cold_fallback $ k $ b)
 
 (* ----- dynamic membership demo ----- *)
 
@@ -498,13 +710,6 @@ let write_or_print output contents =
       Format.printf "wrote %s@." path
   | None -> print_string contents
 
-let hosts_arg =
-  Arg.(
-    value
-    & opt (some int) None
-    & info [ "hosts" ] ~docv:"N"
-        ~doc:"Restrict the dataset to a random N-host subset (quick runs).")
-
 let drop_arg =
   Arg.(value & opt float 0.1
        & info [ "drop" ] ~docv:"P" ~doc:"Per-message loss probability.")
@@ -581,6 +786,9 @@ let main_cmd =
       overhead_cmd;
       routing_cmd;
       robustness_cmd;
+      restart_cmd;
+      snapshot_cmd;
+      restore_cmd;
       dynamic_cmd;
       trace_cmd;
       metrics_cmd;

@@ -244,6 +244,38 @@ let naked_failwith =
   in
   rule
 
+let no_marshal =
+  let rec rule =
+    {
+      id = "no-marshal";
+      severity = Finding.Error;
+      doc =
+        "Marshal bytes are unversioned, unchecksummed and \
+         compiler-layout-dependent, and reading them at the wrong type is \
+         undefined behavior — the opposite of a crash-consistent snapshot.  \
+         Library code serializes through Bwc_persist.Codec (versioned \
+         header, CRC-32, validating readers); bin/ and bench/ are outside \
+         the scope because nothing durable is written there.";
+      only_paths = [ "lib/" ];
+      allow_paths = [];
+      check =
+        (fun ~path:_ file ->
+          let acc = ref [] in
+          Ast_scan.scan_exprs file ~f:(fun ~rec_depth:_ e ->
+              match Ast_scan.ident_path e with
+              | Some ("Marshal" :: _ :: _) ->
+                  acc :=
+                    finding rule e
+                      "Marshal output is unversioned and unchecked; \
+                       serialize through Bwc_persist.Codec so restores can \
+                       verify and reject"
+                    :: !acc
+              | _ -> ());
+          !acc);
+    }
+  in
+  rule
+
 let no_obj_magic =
   let rec rule =
     {
@@ -371,6 +403,7 @@ let all =
     no_wall_clock_in_lib;
     naked_failwith;
     no_obj_magic;
+    no_marshal;
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all

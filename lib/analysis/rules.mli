@@ -30,5 +30,10 @@ val no_wall_clock_in_lib : t
 val naked_failwith : t
 val no_obj_magic : t
 
+val no_marshal : t
+(** [Marshal.to_*]/[from_*] banned in [lib/]: snapshot bytes must go
+    through [Bwc_persist.Codec]'s versioned, checksummed, validating
+    format so a restore can verify and reject instead of crashing. *)
+
 val all : t list
 val find : string -> t option

@@ -108,6 +108,51 @@ let tick t ~round ~live =
     t.edges;
   List.sort_uniq compare !confirmed
 
+(* ----- persistence ----- *)
+
+type edge_dump = {
+  d_watcher : int;
+  d_peer : int;
+  d_last_heard : int;
+  d_state : state;
+  d_slack : int;
+}
+
+type dump = {
+  d_config : config;
+  d_rng : int64;
+  d_edges : edge_dump list; (* ascending (watcher, peer) *)
+}
+
+let dump t =
+  let edges = ref [] in
+  Bwc_stats.Tbl.iter_sorted
+    (fun (watcher, peer) e ->
+      edges :=
+        {
+          d_watcher = watcher;
+          d_peer = peer;
+          d_last_heard = e.last_heard;
+          d_state = e.state;
+          d_slack = e.slack;
+        }
+        :: !edges)
+    t.edges;
+  { d_config = t.cfg; d_rng = Rng.state t.rng; d_edges = List.rev !edges }
+
+let of_dump ?metrics ?trace d =
+  let t = create ?metrics ?trace ~rng:(Rng.of_state d.d_rng) d.d_config in
+  List.iter
+    (fun e ->
+      if e.d_slack < 0 || e.d_slack > d.d_config.jitter then
+        invalid_arg "Detector.of_dump: slack outside the jitter range";
+      if Hashtbl.mem t.edges (e.d_watcher, e.d_peer) then
+        invalid_arg "Detector.of_dump: duplicate edge";
+      Hashtbl.replace t.edges (e.d_watcher, e.d_peer)
+        { last_heard = e.d_last_heard; state = e.d_state; slack = e.d_slack })
+    d.d_edges;
+  t
+
 let pending t ~round =
   let p = ref false in
   (* order-independent: a pure exists-scan (commutative OR) over the

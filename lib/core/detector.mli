@@ -79,3 +79,28 @@ val pending : t -> round:int -> bool
 (** [true] while some lease is running towards expiry (a monitored peer
     has been silent past the heartbeat horizon): the protocol must keep
     running rounds for the detector to resolve the silence either way. *)
+
+(** {2 Persistence} *)
+
+type edge_dump = {
+  d_watcher : int;
+  d_peer : int;
+  d_last_heard : int;
+  d_state : state;
+  d_slack : int;
+}
+
+type dump = {
+  d_config : config;
+  d_rng : int64;  (** jitter generator state *)
+  d_edges : edge_dump list;  (** ascending (watcher, peer) *)
+}
+
+val dump : t -> dump
+
+val of_dump : ?metrics:Bwc_obs.Registry.t -> ?trace:Bwc_obs.Trace.t -> dump -> t
+(** Reconstructs the detector mid-lease: every edge keeps its last-heard
+    round, suspicion state and per-edge slack, so leases that were
+    running towards expiry keep running after a restore.  Validates the
+    config and the per-edge slack range; raises [Invalid_argument]
+    otherwise. *)

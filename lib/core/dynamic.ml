@@ -5,12 +5,22 @@ module Ensemble = Bwc_predtree.Ensemble
 type t = {
   rng : Rng.t;
   c : float;
+  dataset : Dataset.t;
   space : Bwc_metric.Space.t; (* measured metric, cached: the index universe *)
   fw : Ensemble.t;
   protocol : Protocol.t;
   classes : Classes.t;
   mutable index : Find_cluster.Index.t option; (* lazy, then delta-maintained *)
 }
+
+(* detector/manual repairs evict members underneath us; the maintained
+   index follows by delta instead of being rebuilt *)
+let install_evict_hook t =
+  Protocol.set_on_evict t.protocol (fun h ->
+      match t.index with
+      | Some idx when Find_cluster.Index.is_member idx h ->
+          Find_cluster.Index.remove_host idx h
+      | Some _ | None -> ())
 
 let create ?(seed = 1) ?(c = Bwc_metric.Bandwidth.default_c) ?n_cut ?(class_count = 8)
     ?ensemble_size ?initial_members dataset =
@@ -27,6 +37,7 @@ let create ?(seed = 1) ?(c = Bwc_metric.Bandwidth.default_c) ?n_cut ?(class_coun
     {
       rng;
       c;
+      dataset;
       space = Bwc_metric.Space.cached space;
       fw;
       protocol;
@@ -34,14 +45,26 @@ let create ?(seed = 1) ?(c = Bwc_metric.Bandwidth.default_c) ?n_cut ?(class_coun
       index = None;
     }
   in
-  (* detector/manual repairs evict members underneath us; the maintained
-     index follows by delta instead of being rebuilt *)
-  Protocol.set_on_evict protocol (fun h ->
-      match t.index with
-      | Some idx when Find_cluster.Index.is_member idx h ->
-          Find_cluster.Index.remove_host idx h
-      | Some _ | None -> ());
+  install_evict_hook t;
   t
+
+(* Persistence: bwc_persist decodes each layer and re-assembles here.
+   The measured-metric universe is rebuilt from the (restored) dataset —
+   spaces are closures and never serialize — and the eviction hook is
+   re-installed, so a restored system keeps maintaining its index by
+   delta exactly like the original. *)
+let assemble ~dataset ~c ~fw ~protocol ~classes ~rng_state ~index =
+  let space = Bwc_metric.Space.cached (Dataset.metric ~c dataset) in
+  let t =
+    { rng = Rng.of_state rng_state; c; dataset; space; fw; protocol; classes; index }
+  in
+  install_evict_hook t;
+  t
+
+let dataset t = t.dataset
+let c t = t.c
+let rng_state t = Rng.state t.rng
+let index_opt t = t.index
 
 let members t = Ensemble.members t.fw
 let member_count t = List.length (members t)

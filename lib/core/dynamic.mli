@@ -30,6 +30,30 @@ val create :
   t
 (** [initial_members] defaults to all hosts of the dataset. *)
 
+val assemble :
+  dataset:Bwc_dataset.Dataset.t ->
+  c:float ->
+  fw:Bwc_predtree.Ensemble.t ->
+  protocol:Protocol.t ->
+  classes:Classes.t ->
+  rng_state:int64 ->
+  index:Find_cluster.Index.t option ->
+  t
+(** Snapshot restore only (see [Bwc_persist]): re-assembles a dynamic
+    system from already-restored layers.  Rebuilds the measured-metric
+    index universe from the dataset and re-installs the eviction hook
+    that keeps a maintained index valid under detector-driven repair. *)
+
+val dataset : t -> Bwc_dataset.Dataset.t
+val c : t -> float
+
+val rng_state : t -> int64
+(** The submission/placement generator's state (see
+    {!Bwc_stats.Rng.state}). *)
+
+val index_opt : t -> Find_cluster.Index.t option
+(** The maintained index if it has been forced, without forcing it. *)
+
 val members : t -> int list
 val member_count : t -> int
 val is_member : t -> int -> bool

@@ -326,4 +326,73 @@ module Index = struct
     end
 
   let max_sizes t ~ls = Array.map (fun l -> max_size t ~l) ls
+
+  (* ----- persistence -----
+
+     The universe space is a function and cannot be serialized; the dump
+     carries the membership and the per-pair counts, and [of_dump]
+     recomputes pair distances against the caller-provided space.  Using
+     the stored counts (instead of recounting) keeps restore at
+     O(a^2 log a) instead of the O(a^3) of [build_subset]. *)
+
+  type dump = {
+    d_members : int list; (* ascending *)
+    d_sizes : int array; (* per (i, j), i < j over d_members, row-major *)
+  }
+
+  let dump t =
+    let a = Array.length t.members in
+    let sizes = Array.make (Stdlib.max 1 (a * (a - 1) / 2)) 0 in
+    let pos = ref 0 in
+    for i = 0 to a - 1 do
+      for j = i + 1 to a - 1 do
+        (match Hashtbl.find_opt t.pairs (key t t.members.(i) t.members.(j)) with
+        | Some pr -> sizes.(!pos) <- pr.size
+        | None -> assert false);
+        incr pos
+      done
+    done;
+    { d_members = Array.to_list t.members; d_sizes = Array.sub sizes 0 !pos }
+
+  let of_dump space d =
+    let fail msg = invalid_arg ("Find_cluster.Index.of_dump: " ^ msg) in
+    let n = space.Space.n in
+    let members = Array.of_list d.d_members in
+    let a = Array.length members in
+    Array.iteri
+      (fun i h ->
+        if h < 0 || h >= n then fail "host out of range";
+        if i > 0 && members.(i - 1) >= h then fail "members not strictly ascending")
+      members;
+    if Array.length d.d_sizes <> a * (a - 1) / 2 then fail "size table arity mismatch";
+    Array.iter (fun s -> if s < 0 || s > a then fail "count out of range") d.d_sizes;
+    let active = Array.make n false in
+    Array.iter (fun h -> active.(h) <- true) members;
+    let count = a * (a - 1) / 2 in
+    let t =
+      {
+        space;
+        active;
+        members;
+        pairs = Hashtbl.create (Stdlib.max 16 count);
+        sorted = [||];
+        prefix_max = [||];
+      }
+    in
+    let all = Array.make (Stdlib.max 1 count) { u = 0; v = 0; d = 0.0; size = 0 } in
+    let pos = ref 0 in
+    for i = 0 to a - 1 do
+      for j = i + 1 to a - 1 do
+        let u = members.(i) and v = members.(j) in
+        let pr = { u; v; d = space.Space.dist u v; size = d.d_sizes.(!pos) } in
+        Hashtbl.replace t.pairs (key t u v) pr;
+        all.(!pos) <- pr;
+        incr pos
+      done
+    done;
+    let all = if count = 0 then [||] else all in
+    Array.sort pair_cmp all;
+    t.sorted <- all;
+    recompute_prefix_max t;
+    t
 end

@@ -93,4 +93,22 @@ module Index : sig
   val max_size : t -> l:float -> int
   val max_sizes : t -> ls:float array -> int array
   (** Vectorised {!max_size} for a whole set of distance classes. *)
+
+  (** {2 Persistence} *)
+
+  type dump = {
+    d_members : int list;  (** ascending host ids *)
+    d_sizes : int array;
+        (** per-pair [|S*_uv|] counts, row-major over [(i, j)], [i < j],
+            of [d_members] *)
+  }
+
+  val dump : t -> dump
+
+  val of_dump : Bwc_metric.Space.t -> dump -> t
+  (** Reconstructs the index over the given universe space (pair
+      distances are recomputed from it; the counts come from the dump, so
+      restore is O(a^2 log a) instead of a O(a^3) rebuild).  Validates
+      membership ordering/range and count bounds; raises
+      [Invalid_argument] on any violation. *)
 end

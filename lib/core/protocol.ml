@@ -785,6 +785,237 @@ let pending_unacked t = t.unacked
 let mark_all_dirty t =
   Array.iter (function Some node -> node.dirty <- true | None -> ()) t.nodes
 
+(* ----- persistence -----
+
+   The dump is the durable per-node state only.  In-flight engine traffic
+   is deliberately absent: a whole-system crash loses the network, and
+   that is exactly the loss the seq/ACK + retransmission layer already
+   recovers from — unacked out entries resume their resend timers after a
+   restore.  Neighbor lists and node infos are {e not} dumped either;
+   they are always derived from the ensemble, which travels alongside. *)
+
+type out_dump = {
+  o_peer : int;
+  o_epoch : int;
+  o_seq : int;
+  o_prop_node : Node_info.t list;
+  o_prop_crt : int array;
+  o_sent_round : int;
+  o_tries : int;
+  o_acked : bool;
+  o_gave_up : bool;
+}
+
+type node_dump = {
+  nd_id : int;
+  nd_active : bool; (* engine liveness: a crashed-but-not-evicted member *)
+  nd_dirty : bool;
+  nd_own_row : int array;
+  nd_aggr_node : (int * Node_info.t list) list; (* ascending neighbor id *)
+  nd_aggr_crt : (int * int array) list;
+  nd_out : out_dump list;
+  nd_seen_seq : (int * int) list;
+  nd_link_epoch : (int * int) list;
+  nd_last_sent : (int * int) list;
+}
+
+type dump = {
+  d_n_cut : int;
+  d_resend_timeout : int;
+  d_max_retransmits : int;
+  d_rounds : int;
+  d_epoch : int;
+  d_engine_round : int;
+  d_engine_rng : int64;
+  d_nodes : node_dump list; (* ascending host id, members only *)
+  d_detector : Detector.dump option;
+}
+
+let sorted_assoc tbl = List.map (fun k -> (k, Hashtbl.find tbl k)) (Bwc_stats.Tbl.sorted_keys tbl)
+
+let dump t =
+  let nodes = ref [] in
+  for id = Array.length t.nodes - 1 downto 0 do
+    match t.nodes.(id) with
+    | None -> ()
+    | Some node ->
+        let out =
+          List.map
+            (fun (peer, (e : out_entry)) ->
+              {
+                o_peer = peer;
+                o_epoch = e.epoch;
+                o_seq = e.seq;
+                o_prop_node = e.payload.prop_node;
+                o_prop_crt = e.payload.prop_crt;
+                o_sent_round = e.sent_round;
+                o_tries = e.tries;
+                o_acked = e.acked;
+                o_gave_up = e.gave_up;
+              })
+            (sorted_assoc node.out)
+        in
+        nodes :=
+          {
+            nd_id = id;
+            nd_active = Engine.is_active t.engine id;
+            nd_dirty = node.dirty;
+            nd_own_row = Array.copy node.own_row;
+            nd_aggr_node = sorted_assoc node.aggr_node;
+            nd_aggr_crt = sorted_assoc node.aggr_crt;
+            nd_out = out;
+            nd_seen_seq = sorted_assoc node.seen_seq;
+            nd_link_epoch = sorted_assoc node.link_epoch;
+            nd_last_sent = sorted_assoc node.last_sent;
+          }
+          :: !nodes
+  done;
+  {
+    d_n_cut = t.n_cut;
+    d_resend_timeout = t.resend_timeout;
+    d_max_retransmits = t.max_retransmits;
+    d_rounds = t.rounds;
+    d_epoch = t.epoch;
+    d_engine_round = Engine.round t.engine;
+    d_engine_rng = Engine.rng_state t.engine;
+    d_nodes = !nodes;
+    d_detector = Option.map Detector.dump t.detector;
+  }
+
+let of_dump ?edge_delay ?faults ?metrics ?trace ~classes fw d =
+  let fail msg = invalid_arg ("Protocol.of_dump: " ^ msg) in
+  if d.d_n_cut < 1 then fail "n_cut < 1";
+  if d.d_resend_timeout < 1 then fail "resend_timeout < 1";
+  if d.d_max_retransmits < 1 then fail "max_retransmits < 1";
+  if d.d_rounds < 0 || d.d_engine_round < 0 || d.d_epoch < 0 then fail "negative clock";
+  let n = Ensemble.hosts fw in
+  let n_classes = Classes.count classes in
+  let n_trees = Ensemble.size fw in
+  let metrics = match metrics with Some m -> m | None -> Registry.create () in
+  let engine =
+    Engine.create ?edge_delay ?faults ~metrics ?trace
+      ~rng:(Rng.of_state d.d_engine_rng) n
+  in
+  Engine.restore_round engine d.d_engine_round;
+  let detector = Option.map (Detector.of_dump ~metrics ?trace) d.d_detector in
+  (* membership must match the ensemble exactly: every dumped node a
+     member, every member dumped *)
+  let dumped_ids = List.map (fun nd -> nd.nd_id) d.d_nodes in
+  if List.sort_uniq compare dumped_ids <> dumped_ids then
+    fail "node dumps not strictly ascending";
+  if dumped_ids <> List.sort compare (Ensemble.members fw) then
+    fail "membership disagrees with the ensemble";
+  let check_info (info : Node_info.t) =
+    if info.Node_info.host < 0 || info.Node_info.host >= n then fail "info host out of range";
+    if Array.length info.Node_info.labels <> n_trees then fail "info label arity mismatch"
+  in
+  let check_row row = if Array.length row <> n_classes then fail "CRT row arity mismatch" in
+  let nodes = Array.make n None in
+  let unacked = ref 0 in
+  List.iter
+    (fun nd ->
+      let nbrs = Ensemble.anchor_neighbors fw nd.nd_id in
+      let check_peer p = if not (List.mem p nbrs) then fail "state keyed by a non-neighbor" in
+      check_row nd.nd_own_row;
+      Array.iter (fun v -> if v < 0 then fail "negative cluster size") nd.nd_own_row;
+      let node = fresh_node fw classes nd.nd_id in
+      node.own_row <- Array.copy nd.nd_own_row;
+      node.dirty <- nd.nd_dirty;
+      List.iter
+        (fun (p, infos) ->
+          check_peer p;
+          List.iter check_info infos;
+          Hashtbl.replace node.aggr_node p infos)
+        nd.nd_aggr_node;
+      List.iter
+        (fun (p, row) ->
+          check_peer p;
+          check_row row;
+          Hashtbl.replace node.aggr_crt p (Array.copy row))
+        nd.nd_aggr_crt;
+      List.iter
+        (fun o ->
+          check_peer o.o_peer;
+          if o.o_epoch < 0 || o.o_epoch > d.d_epoch then fail "out entry epoch out of range";
+          if o.o_seq < 0 || o.o_tries < 0 then fail "negative out entry field";
+          if o.o_sent_round > d.d_engine_round then fail "out entry from the future";
+          check_row o.o_prop_crt;
+          List.iter check_info o.o_prop_node;
+          if (not o.o_acked) && not o.o_gave_up then incr unacked;
+          Hashtbl.replace node.out o.o_peer
+            {
+              epoch = o.o_epoch;
+              seq = o.o_seq;
+              payload = { prop_node = o.o_prop_node; prop_crt = Array.copy o.o_prop_crt };
+              sent_round = o.o_sent_round;
+              tries = o.o_tries;
+              acked = o.o_acked;
+              gave_up = o.o_gave_up;
+            })
+        nd.nd_out;
+      List.iter
+        (fun (p, s) ->
+          check_peer p;
+          if s < 0 then fail "negative seen seq";
+          Hashtbl.replace node.seen_seq p s)
+        nd.nd_seen_seq;
+      List.iter
+        (fun (p, e) ->
+          check_peer p;
+          if e < 0 || e > d.d_epoch then fail "link epoch out of range";
+          Hashtbl.replace node.link_epoch p e)
+        nd.nd_link_epoch;
+      List.iter
+        (fun (p, r) ->
+          check_peer p;
+          if r > d.d_engine_round then fail "send stamp from the future";
+          Hashtbl.replace node.last_sent p r)
+        nd.nd_last_sent;
+      nodes.(nd.nd_id) <- Some node)
+    d.d_nodes;
+  let t =
+    {
+      fw;
+      classes;
+      n_cut = d.d_n_cut;
+      resend_timeout = d.d_resend_timeout;
+      max_retransmits = d.d_max_retransmits;
+      nodes;
+      engine;
+      detector;
+      trace;
+      rounds = d.d_rounds;
+      epoch = d.d_epoch;
+      on_evict = ignore;
+      unacked = !unacked;
+      step_changed = false;
+      c_retransmissions = Registry.counter metrics "protocol.retransmissions";
+      c_dup_suppressed = Registry.counter metrics "protocol.dup_suppressed";
+      c_stale_discarded = Registry.counter metrics "protocol.stale_discarded";
+      c_give_up = Registry.counter metrics "protocol.give_up";
+      c_heartbeats = Registry.counter metrics "protocol.heartbeats";
+      c_epoch_discarded = Registry.counter metrics "protocol.epoch_discarded";
+      c_repairs = Registry.counter metrics "protocol.repairs";
+      c_regrafts = Registry.counter metrics "protocol.regrafts";
+      g_unacked = Registry.gauge metrics "protocol.unacked";
+      h_query_hops = Registry.histogram metrics "query.hops";
+      c_query_retries = Registry.counter metrics "query.retries";
+      c_query_hits = Registry.counter metrics "query.hits";
+      c_query_misses = Registry.counter metrics "query.misses";
+    }
+  in
+  (* liveness from the dump, not from membership: a crashed-but-not-yet-
+     evicted member restores as crashed *)
+  Array.iteri
+    (fun h slot -> if slot = None then Engine.set_active t.engine h false)
+    t.nodes;
+  List.iter
+    (fun nd -> if not nd.nd_active then Engine.set_active t.engine nd.nd_id false)
+    d.d_nodes;
+  t
+
+let current_round t = Engine.round t.engine
+
 (* Rebuilding the slots from scratch both refreshes labels/neighborhoods
    after a framework change and tracks membership changes (joins create a
    slot, leaves clear one).  In-flight traffic belongs to the old

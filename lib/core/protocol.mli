@@ -240,6 +240,80 @@ val pending_unacked : t -> int
 (** Updates still awaiting acknowledgement and not yet given up (0 at
     quiescence). *)
 
+val current_round : t -> int
+(** The engine's round clock (survives snapshot/restore, unlike
+    {!rounds_run} which counts rounds stepped by this process). *)
+
+(** {2 Persistence}
+
+    The dump captures the durable per-node state only.  In-flight engine
+    traffic is deliberately absent: a whole-system crash loses the
+    network, and that is exactly the loss the seq/ACK + retransmission
+    layer already recovers from — restored unacked out-entries resume
+    their resend timers.  Neighbor lists and node infos are not dumped
+    either; they are re-derived from the ensemble, which must be
+    restored alongside (see {!Bwc_predtree.Ensemble.of_dump}).  Metrics
+    counters restart from zero. *)
+
+type out_dump = {
+  o_peer : int;
+  o_epoch : int;
+  o_seq : int;
+  o_prop_node : Node_info.t list;
+  o_prop_crt : int array;
+  o_sent_round : int;
+  o_tries : int;
+  o_acked : bool;
+  o_gave_up : bool;
+}
+
+type node_dump = {
+  nd_id : int;
+  nd_active : bool;
+      (** engine liveness — a crashed-but-not-yet-evicted member restores
+          as crashed *)
+  nd_dirty : bool;
+  nd_own_row : int array;
+  nd_aggr_node : (int * Node_info.t list) list;  (** ascending neighbor id *)
+  nd_aggr_crt : (int * int array) list;
+  nd_out : out_dump list;
+  nd_seen_seq : (int * int) list;
+  nd_link_epoch : (int * int) list;
+  nd_last_sent : (int * int) list;
+}
+
+type dump = {
+  d_n_cut : int;
+  d_resend_timeout : int;
+  d_max_retransmits : int;
+  d_rounds : int;
+  d_epoch : int;
+  d_engine_round : int;
+  d_engine_rng : int64;
+  d_nodes : node_dump list;  (** ascending host id, members only *)
+  d_detector : Detector.dump option;
+}
+
+val dump : t -> dump
+
+val of_dump :
+  ?edge_delay:(src:int -> dst:int -> int) ->
+  ?faults:Bwc_sim.Fault.t ->
+  ?metrics:Bwc_obs.Registry.t ->
+  ?trace:Bwc_obs.Trace.t ->
+  classes:Classes.t ->
+  Bwc_predtree.Ensemble.t ->
+  dump ->
+  t
+(** Reconstructs a live protocol over the given (already restored)
+    ensemble.  The engine restarts at the dumped round with the dumped
+    RNG state, so a same-seed run resumed from a snapshot at quiescence
+    is indistinguishable from one that never crashed.  Validates
+    membership agreement with the ensemble, neighbor-keyed table
+    integrity, arity of CRT rows and label vectors, and clock/epoch
+    bounds; raises [Invalid_argument] on any violation.  [pending_unacked]
+    is recomputed from the out-entries, never trusted from the file. *)
+
 val mark_all_dirty : t -> unit
 (** Forces every host to recompute and repropagate — used after the
     underlying framework is refreshed (dynamic network conditions). *)

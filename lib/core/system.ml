@@ -14,7 +14,7 @@ type t = {
 }
 
 let create ?(seed = 1) ?(c = Bwc_metric.Bandwidth.default_c) ?n_cut ?(class_count = 8)
-    ?classes ?mode ?ensemble_size ?aggregation_rounds dataset =
+    ?classes ?mode ?ensemble_size ?aggregation_rounds ?detector dataset =
   let rng = Rng.create seed in
   let space = Dataset.metric ~c dataset in
   let fw = Ensemble.build ~rng:(Rng.split rng) ?mode ?size:ensemble_size space in
@@ -23,10 +23,20 @@ let create ?(seed = 1) ?(c = Bwc_metric.Bandwidth.default_c) ?n_cut ?(class_coun
     | Some cl -> cl
     | None -> Classes.of_percentiles ~c ~count:class_count dataset
   in
-  let protocol = Protocol.create ~rng:(Rng.split rng) ?n_cut ~classes fw in
+  let protocol = Protocol.create ~rng:(Rng.split rng) ?n_cut ?detector ~classes fw in
   let (_ : int) = Protocol.run_aggregation ?max_rounds:aggregation_rounds protocol in
   { seed; dataset; c; fw; protocol; classes; rng; index = None }
 
+(* Persistence: bwc_persist decodes each layer (dataset, ensemble,
+   protocol, optional index) and re-assembles the facade here.  No
+   validation beyond what the layer decoders already did — this is pure
+   plumbing. *)
+let assemble ~seed ~dataset ~c ~fw ~protocol ~classes ~rng_state ~index =
+  { seed; dataset; c; fw; protocol; classes; rng = Rng.of_state rng_state; index }
+
+let seed t = t.seed
+let rng_state t = Rng.state t.rng
+let index_opt t = t.index
 let dataset t = t.dataset
 let framework t = t.fw
 let protocol t = t.protocol

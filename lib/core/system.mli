@@ -21,13 +21,39 @@ val create :
   ?mode:Bwc_predtree.Framework.mode ->
   ?ensemble_size:int ->
   ?aggregation_rounds:int ->
+  ?detector:Detector.config ->
   Bwc_dataset.Dataset.t ->
   t
 (** Builds the prediction framework over the dataset, creates the
     decentralized protocol and runs background aggregation to
     quiescence.  [class_count] (default 8) bandwidth classes are placed
     at percentiles of the dataset's bandwidth distribution; an explicit
-    [classes] overrides both. *)
+    [classes] overrides both.  [detector] (off when omitted) runs the
+    failure detector over the overlay, exactly as {!Protocol.create}
+    would. *)
+
+val assemble :
+  seed:int ->
+  dataset:Bwc_dataset.Dataset.t ->
+  c:float ->
+  fw:Bwc_predtree.Ensemble.t ->
+  protocol:Protocol.t ->
+  classes:Classes.t ->
+  rng_state:int64 ->
+  index:Find_cluster.Index.t option ->
+  t
+(** Snapshot restore only (see [Bwc_persist]): re-assembles a system from
+    already-restored layers without running any aggregation.  The callers
+    are expected to have decoded each layer with its own validating
+    [of_dump]. *)
+
+val seed : t -> int
+val rng_state : t -> int64
+(** The submission-point generator's state (see {!Bwc_stats.Rng.state}). *)
+
+val index_opt : t -> Find_cluster.Index.t option
+(** The centralized index if it has been forced (by {!index} or a
+    restore), without forcing it. *)
 
 val dataset : t -> Bwc_dataset.Dataset.t
 val framework : t -> Bwc_predtree.Ensemble.t

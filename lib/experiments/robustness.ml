@@ -351,7 +351,8 @@ let recovery ?(victim_counts = [ 1; 2; 3 ]) ?(queries = 60)
         })
       victim_counts
   in
-  { dataset = dataset.Dataset.name; n; queries; base_rounds; rr_clean; rows }
+  ({ dataset = dataset.Dataset.name; n; queries; base_rounds; rr_clean; rows }
+    : recovery_output)
 
 let b v = if v then "yes" else "no"
 
@@ -478,3 +479,208 @@ let save_csv (output : output) path =
            Report.i r.query_retries;
          ])
        output.rows)
+
+(* ----- E15: crash-consistent restart, warm restore vs cold reconvergence ----- *)
+
+module System = Bwc_core.System
+module Snapshot = Bwc_persist.Snapshot
+module Codec = Bwc_persist.Codec
+
+type restart_row = {
+  mode : string;
+  restore_ok : bool;
+  rejected_as : string;
+  rr_at_restart : float;
+  post_rounds : int;
+  post_msgs : int;
+  round_speedup : float;
+  msg_speedup : float;
+  fixpoint_match : bool;
+}
+
+type restart_output = {
+  dataset : string;
+  n : int;
+  queries : int;
+  snapshot_bytes : int;
+  base_rounds : int;
+  rr_clean : float;
+  rows : restart_row list;
+}
+
+let err_class = function
+  | Codec.Bad_magic -> "bad-magic"
+  | Codec.Bad_version _ -> "bad-version"
+  | Codec.Truncated -> "truncated"
+  | Codec.Bad_checksum -> "bad-checksum"
+  | Codec.Corrupt _ -> "corrupt"
+
+let restart ?(queries = 60) ?(max_rounds = 600) ?(n_cut = 4) ?(class_count = 5)
+    ~seed dataset =
+  let n = Dataset.size dataset in
+  let lo, hi = Workload.bandwidth_range dataset in
+  (* the reference system converges once; its image, taken at quiescence
+     before any query runs, is what every restart arm starts from *)
+  let reference =
+    System.create ~seed ~n_cut ~class_count dataset
+  in
+  let ens = System.framework reference in
+  let ref_p = System.protocol reference in
+  let base_rounds = Protocol.rounds_run ref_p in
+  let image = Snapshot.encode (`System reference) in
+  let rr_clean, _ = measure_rr ~seed:(seed + 3) ~queries ~n ~lo ~hi ref_p in
+  (* a cold start is the same build with aggregation suppressed: the state
+     a node has after a restart with no (or no usable) snapshot *)
+  let cold_build () =
+    System.create ~seed ~n_cut ~class_count ~aggregation_rounds:0 dataset
+  in
+  (* one arm: replay the query workload immediately at restart (query
+     availability while reconvergence is still pending), then run the
+     aggregation to a fixed point and count what it cost *)
+  let arm ~mode ~restore_ok ~rejected_as sys =
+    let p = System.protocol sys in
+    let rr_at_restart, _ = measure_rr ~seed:(seed + 3) ~queries ~n ~lo ~hi p in
+    let msgs0 = Protocol.messages_sent p in
+    let post_rounds = Protocol.run_aggregation ~max_rounds p in
+    let post_msgs = Protocol.messages_sent p - msgs0 in
+    let fixpoint_match = fixpoint_matches ~n ens ref_p p in
+    (mode, restore_ok, rejected_as, rr_at_restart, post_rounds, post_msgs,
+     fixpoint_match)
+  in
+  let unwrap = function
+    | Snapshot.Restored_system s -> s
+    | Snapshot.Restored_dynamic _ -> cold_build ()
+  in
+  let from_bytes ~mode bytes =
+    let restored, status =
+      Snapshot.restore_or_cold
+        ~cold:(fun () -> Snapshot.Restored_system (cold_build ()))
+        bytes
+    in
+    let restore_ok, rejected_as =
+      match status with `Warm -> (true, "-") | `Cold e -> (false, err_class e)
+    in
+    arm ~mode ~restore_ok ~rejected_as (unwrap restored)
+  in
+  let corrupted ~mode ~salt corruption =
+    from_bytes ~mode
+      (Fault.corrupt_snapshot ~rng:(Rng.create (seed + salt)) corruption image)
+  in
+  let raw =
+    [
+      from_bytes ~mode:"warm" image;
+      arm ~mode:"cold" ~restore_ok:false ~rejected_as:"-" (cold_build ());
+      corrupted ~mode:"truncated" ~salt:13 (Fault.Truncate (String.length image / 3));
+      corrupted ~mode:"bit-flip" ~salt:17 (Fault.Flip_bits 16);
+      corrupted ~mode:"stale-version" ~salt:19 Fault.Stale_version;
+    ]
+  in
+  (* the cold arm is the denominator: how much reconvergence a restart
+     costs when the snapshot is absent or rejected *)
+  let cold_rounds, cold_msgs =
+    match List.nth raw 1 with _, _, _, _, r, m, _ -> (r, m)
+  in
+  let rows =
+    List.map
+      (fun (mode, restore_ok, rejected_as, rr_at_restart, post_rounds,
+            post_msgs, fixpoint_match) ->
+        {
+          mode;
+          restore_ok;
+          rejected_as;
+          rr_at_restart;
+          post_rounds;
+          post_msgs;
+          round_speedup =
+            float_of_int cold_rounds /. float_of_int (max 1 post_rounds);
+          msg_speedup = float_of_int cold_msgs /. float_of_int (max 1 post_msgs);
+          fixpoint_match;
+        })
+      raw
+  in
+  ({
+     dataset = dataset.Dataset.name;
+     n;
+     queries;
+     snapshot_bytes = String.length image;
+     base_rounds;
+     rr_clean;
+     rows;
+   }
+    : restart_output)
+
+let print_restart (output : restart_output) =
+  Report.table
+    ~title:
+      (Printf.sprintf
+         "Restart: warm restore vs cold reconvergence (snapshot %d bytes, \
+          converged in %d rounds, RR %.3f) -- %s n=%d"
+         output.snapshot_bytes output.base_rounds output.rr_clean output.dataset
+         output.n)
+    ~headers:
+      [
+        "mode"; "restored"; "rejected as"; "RR at restart"; "post rounds";
+        "post msgs"; "x rounds"; "x msgs"; "fixpoint";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.mode;
+           b r.restore_ok;
+           r.rejected_as;
+           Report.f3 r.rr_at_restart;
+           Report.i r.post_rounds;
+           Report.i r.post_msgs;
+           Report.f r.round_speedup;
+           Report.f r.msg_speedup;
+           b r.fixpoint_match;
+         ])
+       output.rows)
+
+let save_restart_csv (output : restart_output) path =
+  Report.save_csv ~path
+    ~headers:
+      [
+        "mode"; "restore_ok"; "rejected_as"; "rr_at_restart"; "post_rounds";
+        "post_msgs"; "round_speedup"; "msg_speedup"; "fixpoint_match";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.mode;
+           b r.restore_ok;
+           r.rejected_as;
+           Report.f3 r.rr_at_restart;
+           Report.i r.post_rounds;
+           Report.i r.post_msgs;
+           Report.f r.round_speedup;
+           Report.f r.msg_speedup;
+           b r.fixpoint_match;
+         ])
+       output.rows)
+
+let save_restart_json (output : restart_output) ~seed path =
+  let oc = open_out path in
+  let row_json r =
+    Printf.sprintf
+      "    {\"mode\": \"%s\", \"restore_ok\": %b, \"rejected_as\": \"%s\", \
+       \"rr_at_restart\": %.3f, \"post_rounds\": %d, \"post_msgs\": %d, \
+       \"round_speedup\": %.2f, \"msg_speedup\": %.2f, \"fixpoint_match\": %b}"
+      r.mode r.restore_ok r.rejected_as r.rr_at_restart r.post_rounds
+      r.post_msgs r.round_speedup r.msg_speedup r.fixpoint_match
+  in
+  Printf.fprintf oc
+    "{\n\
+    \  \"experiment\": \"restart\",\n\
+    \  \"seed\": %d,\n\
+    \  \"dataset\": \"%s\",\n\
+    \  \"n\": %d,\n\
+    \  \"queries\": %d,\n\
+    \  \"snapshot_bytes\": %d,\n\
+    \  \"base_rounds\": %d,\n\
+    \  \"rr_clean\": %.3f,\n\
+    \  \"rows\": [\n%s\n  ]\n}\n"
+    seed output.dataset output.n output.queries output.snapshot_bytes
+    output.base_rounds output.rr_clean
+    (String.concat ",\n" (List.map row_json output.rows));
+  close_out oc

@@ -125,3 +125,65 @@ val recovery :
 
 val print_recovery : recovery_output -> unit
 val save_recovery_csv : recovery_output -> string -> unit
+
+(** {1 E15: crash-consistent restart}
+
+    Converges a system once, snapshots it ({!Bwc_persist.Snapshot}), and
+    compares what a whole-system restart costs under five arms, all
+    replaying the same seeded query workload {e immediately} at restart
+    (query availability while reconvergence is pending) and then running
+    the aggregation to a fixed point:
+
+    - {b warm}: restore from the verified snapshot.  Expected: the
+      restart workload already matches the converged recall, the
+      aggregation quiesces in one round with (almost) no messages, and
+      the CRT fixed point is identical to the reference.
+    - {b cold}: the same build with aggregation suppressed — the state a
+      node restarts in with no snapshot.  Its post-restart rounds and
+      messages are the denominator of every speedup column.
+    - {b truncated} / {b bit-flip} / {b stale-version}: the snapshot
+      image is corrupted ({!Bwc_sim.Fault.corrupt_snapshot}) while the
+      system is down; the restore must reject it with the right typed
+      error ([rejected_as]) and degrade gracefully to the cold path.
+
+    The acceptance claim is the warm row: [round_speedup] and
+    [msg_speedup] at least 5x at n >= 64, with [fixpoint_match]. *)
+
+type restart_row = {
+  mode : string;           (** warm | cold | truncated | bit-flip | stale-version *)
+  restore_ok : bool;       (** the snapshot verified and restored warm *)
+  rejected_as : string;    (** typed {!Bwc_persist.Codec.error} class, or "-" *)
+  rr_at_restart : float;   (** recall of the workload replayed at restart *)
+  post_rounds : int;       (** aggregation rounds to the fixed point after restart *)
+  post_msgs : int;         (** aggregation messages after restart *)
+  round_speedup : float;   (** cold post_rounds / this arm's post_rounds *)
+  msg_speedup : float;     (** cold post_msgs / this arm's post_msgs *)
+  fixpoint_match : bool;   (** identical CRT tables to the reference system *)
+}
+
+type restart_output = {
+  dataset : string;
+  n : int;
+  queries : int;
+  snapshot_bytes : int;    (** size of the encoded snapshot image *)
+  base_rounds : int;       (** rounds the reference took to converge *)
+  rr_clean : float;        (** recall of the workload on the converged reference *)
+  rows : restart_row list;
+}
+
+val restart :
+  ?queries:int ->
+  ?max_rounds:int ->
+  ?n_cut:int ->
+  ?class_count:int ->
+  seed:int ->
+  Bwc_dataset.Dataset.t ->
+  restart_output
+(** Defaults: 60 queries, round cap 600, n_cut 4, 5 bandwidth classes. *)
+
+val print_restart : restart_output -> unit
+val save_restart_csv : restart_output -> string -> unit
+
+val save_restart_json : restart_output -> seed:int -> string -> unit
+(** The machine-readable form CI archives: one object with the run
+    parameters and one row per arm. *)

@@ -19,6 +19,9 @@ type event =
   | Confirm_dead of { round : int; by : int; node : int }
   | Regraft of { round : int; node : int; new_parent : int }
   | Quiesce of { round : int }
+  | Snapshot_write of { round : int; bytes : int }
+  | Restore of { round : int; warm : bool }
+  | Restore_rejected of { round : int; reason : string }
 
 type t = {
   capacity : int option;
@@ -78,6 +81,24 @@ let event_to_json = function
       Printf.sprintf "{\"ev\":\"regraft\",\"round\":%d,\"node\":%d,\"new_parent\":%d}"
         round node new_parent
   | Quiesce { round } -> Printf.sprintf "{\"ev\":\"quiesce\",\"round\":%d}" round
+  | Snapshot_write { round; bytes } ->
+      Printf.sprintf "{\"ev\":\"snapshot_write\",\"round\":%d,\"bytes\":%d}" round bytes
+  | Restore { round; warm } ->
+      Printf.sprintf "{\"ev\":\"restore\",\"round\":%d,\"warm\":%b}" round warm
+  | Restore_rejected { round; reason } ->
+      let buf = Buffer.create (String.length reason + 8) in
+      String.iter
+        (fun ch ->
+          match ch with
+          | '"' -> Buffer.add_string buf "\\\""
+          | '\\' -> Buffer.add_string buf "\\\\"
+          | '\n' -> Buffer.add_string buf "\\n"
+          | c when Char.code c < 0x20 ->
+              Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+          | c -> Buffer.add_char buf c)
+        reason;
+      Printf.sprintf "{\"ev\":\"restore_rejected\",\"round\":%d,\"reason\":\"%s\"}" round
+        (Buffer.contents buf)
 
 let to_jsonl t =
   let buf = Buffer.create 4096 in

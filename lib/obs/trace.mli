@@ -30,6 +30,14 @@ type event =
   | Regraft of { round : int; node : int; new_parent : int }
       (** overlay repair re-attached orphaned [node] under [new_parent] *)
   | Quiesce of { round : int }
+  | Snapshot_write of { round : int; bytes : int }
+      (** a snapshot of the whole system was encoded ([bytes] long) *)
+  | Restore of { round : int; warm : bool }
+      (** the system came back up — [warm] from a verified snapshot,
+          cold from reconvergence *)
+  | Restore_rejected of { round : int; reason : string }
+      (** a snapshot failed verification (checksum/version/decode) and
+          was discarded; a cold start follows *)
 
 type t
 (** A sink. *)

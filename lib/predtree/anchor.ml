@@ -144,6 +144,63 @@ let max_degree t = List.fold_left (fun acc h -> Stdlib.max acc (degree t h)) 0 (
 let iter_edges t f =
   Bwc_stats.Tbl.iter_sorted (fun child p -> f p child) t.parents
 
+(* ----- persistence -----
+
+   Children lists are dumped in stored order (newest first): overlay
+   neighbor order is derived from them and decides send order, query
+   fallback order and trace order, so a round trip must preserve it
+   exactly, not just as a set. *)
+
+type dump = {
+  d_root : int option;
+  d_nodes : (int * int list) list; (* host -> children (stored order), ascending host *)
+}
+
+let dump t =
+  {
+    d_root = t.root;
+    d_nodes = List.map (fun h -> (h, children t h)) (hosts t);
+  }
+
+let of_dump d =
+  let fail msg = invalid_arg ("Anchor.of_dump: " ^ msg) in
+  let t = create () in
+  List.iter
+    (fun (h, _) ->
+      if Hashtbl.mem t.kids h then fail "duplicate host";
+      Hashtbl.replace t.kids h [])
+    d.d_nodes;
+  (match d.d_root with
+  | None -> if d.d_nodes <> [] then fail "hosts without a root"
+  | Some r -> if not (Hashtbl.mem t.kids r) then fail "root is not a host");
+  t.root <- d.d_root;
+  List.iter
+    (fun (h, cs) ->
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem t.kids c) then fail "unknown child";
+          if Hashtbl.mem t.parents c then fail "child has two parents";
+          if c = h then fail "self-parenting";
+          Hashtbl.replace t.parents c h)
+        cs;
+      Hashtbl.replace t.kids h cs)
+    d.d_nodes;
+  (* every non-root host needs a parent, and parent chains must reach the
+     root (no detached cycles) *)
+  List.iter
+    (fun (h, _) ->
+      if d.d_root <> Some h && not (Hashtbl.mem t.parents h) then
+        fail "host detached from the root";
+      let rec up steps x =
+        if steps > Hashtbl.length t.kids then fail "parent cycle"
+        else match Hashtbl.find_opt t.parents x with
+          | Some p -> up (steps + 1) p
+          | None -> if t.root <> Some x then fail "chain misses the root"
+      in
+      up 0 h)
+    d.d_nodes;
+  t
+
 let pp ppf t =
   match t.root with
   | None -> Format.fprintf ppf "<empty anchor tree>"

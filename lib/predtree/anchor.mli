@@ -60,6 +60,22 @@ val hosts : t -> int list
 val iter_edges : t -> (int -> int -> unit) -> unit
 (** [iter_edges t f] calls [f parent child] once per overlay edge. *)
 
+(** {2 Persistence} *)
+
+type dump = {
+  d_root : int option;
+  d_nodes : (int * int list) list;
+      (** host -> children in stored order, ascending host id.  Child
+          order is significant: overlay neighbor order (and everything
+          downstream of it) derives from it. *)
+}
+
+val dump : t -> dump
+
+val of_dump : dump -> t
+(** Validates rootedness, unique parentage and acyclicity; raises
+    [Invalid_argument] on any violation. *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_dot : ?label:string -> t -> string

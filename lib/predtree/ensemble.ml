@@ -67,6 +67,28 @@ let anchor_neighbors t h = Framework.anchor_neighbors (primary t) h
 let measurements_total t =
   Array.fold_left (fun acc fw -> acc + Framework.measurements_total fw) 0 t.frameworks
 
+(* ----- persistence ----- *)
+
+type dump = Framework.dump array
+
+let dump t = Array.map Framework.dump t.frameworks
+
+let of_dump ?metrics space (d : dump) =
+  if Array.length d < 1 then invalid_arg "Ensemble.of_dump: empty ensemble";
+  let frameworks =
+    Array.mapi
+      (fun i fd ->
+        Framework.of_dump ?metrics ~metric_labels:[ ("tree", string_of_int i) ] space fd)
+      d
+  in
+  let primary_members = List.sort compare (Framework.members frameworks.(0)) in
+  Array.iter
+    (fun fw ->
+      if List.sort compare (Framework.members fw) <> primary_members then
+        invalid_arg "Ensemble.of_dump: trees disagree on membership")
+    frameworks;
+  { space; frameworks }
+
 let relative_errors ?c t =
   let mem = Array.of_list (members t) in
   let m = Array.length mem in

@@ -74,3 +74,15 @@ val measurements_total : t -> int
 val relative_errors : ?c:float -> t -> float array
 (** Per-pair relative bandwidth-prediction error of the median
     predictor. *)
+
+(** {2 Persistence} *)
+
+type dump = Framework.dump array
+
+val dump : t -> dump
+
+val of_dump : ?metrics:Bwc_obs.Registry.t -> Bwc_metric.Space.t -> dump -> t
+(** Reconstructs every tree over [space] (tree [i] charges future
+    maintenance to [predtree.measurements{tree=i}] in [metrics], as
+    {!build} does) and validates that all trees agree on membership;
+    raises [Invalid_argument] otherwise. *)

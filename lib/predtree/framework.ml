@@ -173,3 +173,56 @@ let refresh_host ~rng t h =
   end
 
 let anchor_neighbors t h = Anchor.neighbors t.anchor h
+
+(* ----- persistence ----- *)
+
+type dump = {
+  d_mode : mode;
+  d_tree : Tree.dump;
+  d_anchor : Anchor.dump;
+  d_labels : (int * Label.t) list; (* ascending host id *)
+  d_rev_order : int list;
+}
+
+let dump t =
+  {
+    d_mode = t.mode;
+    d_tree = Tree.dump t.tree;
+    d_anchor = Anchor.dump t.anchor;
+    d_labels =
+      List.map (fun h -> (h, Hashtbl.find t.labels h)) (Bwc_stats.Tbl.sorted_keys t.labels);
+    d_rev_order = t.rev_order;
+  }
+
+let of_dump ?metrics ?(metric_labels = []) space d =
+  let fail msg = invalid_arg ("Framework.of_dump: " ^ msg) in
+  let metrics = match metrics with Some m -> m | None -> Registry.create () in
+  let tree = Tree.of_dump d.d_tree in
+  let anchor = Anchor.of_dump d.d_anchor in
+  let labels = Hashtbl.create space.Space.n in
+  List.iter
+    (fun (h, l) ->
+      if h < 0 || h >= space.Space.n then fail "label host out of range";
+      if Hashtbl.mem labels h then fail "duplicate label";
+      if not (Label.valid l) then fail "invalid label geometry";
+      Hashtbl.replace labels h l)
+    d.d_labels;
+  (* membership must agree across all three views of the framework *)
+  let members_sorted = List.sort_uniq compare d.d_rev_order in
+  if List.length members_sorted <> List.length d.d_rev_order then
+    fail "duplicate member";
+  if members_sorted <> Bwc_stats.Tbl.sorted_keys labels then
+    fail "labels disagree with membership";
+  List.iter
+    (fun h -> if not (Anchor.mem anchor h) then fail "member missing from overlay")
+    members_sorted;
+  {
+    space;
+    mode = d.d_mode;
+    tree;
+    anchor;
+    labels;
+    rev_order = d.d_rev_order;
+    c_measurements =
+      Registry.counter metrics ~labels:metric_labels "predtree.measurements";
+  }

@@ -101,3 +101,28 @@ val refresh_host : rng:Bwc_stats.Rng.t -> t -> int -> unit
 
 val anchor_neighbors : t -> int -> int list
 (** Overlay neighborhood of a host. *)
+
+(** {2 Persistence} *)
+
+type dump = {
+  d_mode : mode;
+  d_tree : Tree.dump;
+  d_anchor : Anchor.dump;
+  d_labels : (int * Label.t) list;  (** ascending host id *)
+  d_rev_order : int list;  (** reverse insertion order, newest first *)
+}
+
+val dump : t -> dump
+
+val of_dump :
+  ?metrics:Bwc_obs.Registry.t ->
+  ?metric_labels:(string * string) list ->
+  Bwc_metric.Space.t ->
+  dump ->
+  t
+(** Reconstructs the framework over [space] (the measured metric the dump
+    was built on; the dump itself carries no distance function).  The
+    measurement counter restarts at zero — a restore performs no probes.
+    Validates label geometry and the agreement of membership across
+    labels, overlay and insertion order; raises [Invalid_argument] on any
+    violation. *)

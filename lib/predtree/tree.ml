@@ -210,6 +210,40 @@ let remove_host t ~host =
         | _ -> Error `Has_dependents
       end
 
+(* ----- persistence (see below, after [is_tree]) ----- *)
+
+type edge_dump = {
+  e_a : vertex;
+  e_b : vertex;
+  e_weight : float;
+  e_owner : int;
+  e_live : bool;
+}
+
+type dump = {
+  d_kinds : int array; (* host id per vertex; -1 = inner *)
+  d_edges : edge_dump list; (* in edge-id order, dead slots included *)
+  d_hosts : (int * vertex) list; (* host -> vertex, ascending host id *)
+}
+
+let dump t =
+  let kinds =
+    Array.init t.vcount (fun v ->
+        match t.kinds.(v) with Host h -> h | Inner -> -1)
+  in
+  let edges = ref [] in
+  for id = t.ecount - 1 downto 0 do
+    let e = t.edges.(id) in
+    edges :=
+      { e_a = e.a; e_b = e.b; e_weight = e.weight; e_owner = e.owner; e_live = e.live }
+      :: !edges
+  done;
+  let hosts =
+    List.map (fun h -> (h, Hashtbl.find t.host_vertex h))
+      (Bwc_stats.Tbl.sorted_keys t.host_vertex)
+  in
+  { d_kinds = kinds; d_edges = !edges; d_hosts = hosts }
+
 let live_edges t =
   let acc = ref [] in
   for id = t.ecount - 1 downto 0 do
@@ -256,6 +290,56 @@ let is_tree t =
   end
 
 let total_weight t = List.fold_left (fun acc e -> acc +. e.weight) 0.0 (live_edges t)
+
+(* The dump captures the geometry exactly as stored: every edge slot ever
+   allocated (dead ones included, so edge ids — and therefore adjacency
+   order — survive a round trip) and the host->vertex map separately from
+   the vertex kinds (eviction can leave a [Host] kind behind after the
+   mapping entry is gone). *)
+let of_dump d =
+  let vcount = Array.length d.d_kinds in
+  let fail msg = invalid_arg ("Tree.of_dump: " ^ msg) in
+  let check_v v = if v < 0 || v >= vcount then fail "vertex out of range" in
+  Array.iter (fun h -> if h < -1 then fail "bad vertex kind") d.d_kinds;
+  let ecount = List.length d.d_edges in
+  let cap n = Stdlib.max 16 n in
+  let t =
+    {
+      kinds =
+        Array.init (cap vcount) (fun v ->
+            if v < vcount && d.d_kinds.(v) >= 0 then Host d.d_kinds.(v) else Inner);
+      vcount;
+      edges =
+        Array.make (cap ecount) { a = 0; b = 0; weight = 0.0; owner = 0; live = false };
+      ecount;
+      adj = Array.make (cap vcount) [];
+      host_vertex = Hashtbl.create 64;
+    }
+  in
+  List.iteri
+    (fun id e ->
+      check_v e.e_a;
+      check_v e.e_b;
+      if e.e_weight < 0.0 || not (Float.is_finite e.e_weight) then fail "bad edge weight";
+      t.edges.(id) <-
+        { a = e.e_a; b = e.e_b; weight = e.e_weight; owner = e.e_owner; live = e.e_live };
+      (* prepending live ids in ascending order reproduces the adjacency
+         lists [new_edge]/[kill_edge] would have left behind *)
+      if e.e_live then begin
+        t.adj.(e.e_a) <- id :: t.adj.(e.e_a);
+        t.adj.(e.e_b) <- id :: t.adj.(e.e_b)
+      end)
+    d.d_edges;
+  List.iter
+    (fun (h, v) ->
+      check_v v;
+      (match d.d_kinds.(v) with
+      | k when k = h -> ()
+      | _ -> fail "host map disagrees with vertex kind");
+      Hashtbl.replace t.host_vertex h v)
+    d.d_hosts;
+  if not (is_tree t) then fail "not a tree";
+  t
 
 let pp ppf t =
   Format.fprintf ppf "prediction tree: %d vertices, %d hosts@." t.vcount

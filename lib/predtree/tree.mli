@@ -73,6 +73,36 @@ val is_tree : t -> bool
 
 val total_weight : t -> float
 
+(** {2 Persistence}
+
+    A structural dump of the geometry, exact enough that
+    [of_dump (dump t)] is indistinguishable from [t]: edge slots keep
+    their ids (dead slots included, preserving adjacency-list order) and
+    the host map is dumped separately from the vertex kinds (a crash
+    eviction can orphan a [Host] kind).  All floats round-trip exactly
+    when the caller serializes them losslessly. *)
+
+type edge_dump = {
+  e_a : vertex;
+  e_b : vertex;
+  e_weight : float;
+  e_owner : int;
+  e_live : bool;
+}
+
+type dump = {
+  d_kinds : int array;  (** host id per vertex; [-1] = inner *)
+  d_edges : edge_dump list;  (** in edge-id order, dead slots included *)
+  d_hosts : (int * vertex) list;  (** host -> vertex, ascending host id *)
+}
+
+val dump : t -> dump
+
+val of_dump : dump -> t
+(** Validates vertex ranges, edge weights, host-map consistency and
+    treeness; raises [Invalid_argument] on any violation (a corrupt
+    snapshot must never build a broken tree). *)
+
 val pp : Format.formatter -> t -> unit
 
 val to_dot : ?label:string -> t -> string

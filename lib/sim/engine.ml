@@ -63,6 +63,12 @@ let round t = t.round
 let faults t = t.faults
 let metrics t = t.metrics
 
+let restore_round t r =
+  if r < 0 then invalid_arg "Engine.restore_round: negative round";
+  t.round <- r
+
+let rng_state t = Rng.state t.rng
+
 let emit t ev = match t.trace with Some tr -> Trace.emit tr ev | None -> ()
 
 let drop_counter t = function

@@ -55,6 +55,15 @@ val faults : 'msg t -> Fault.t
 (** The fault plan the engine was created with ({!Fault.none} when no
     plan was given). *)
 
+val restore_round : 'msg t -> int -> unit
+(** Snapshot restore only: fast-forwards the round clock of a freshly
+    created engine so round-relative protocol state (send timestamps,
+    lease clocks) stays meaningful.  Raises on negative rounds. *)
+
+val rng_state : 'msg t -> int64
+(** The step-order generator's state (see {!Bwc_stats.Rng.state}), so a
+    snapshot can resume the exact permutation stream. *)
+
 val metrics : 'msg t -> Bwc_obs.Registry.t
 (** The registry holding the engine's counters (the [?metrics] argument
     of {!create}, or the engine's private registry). *)

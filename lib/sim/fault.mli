@@ -26,6 +26,31 @@ type crash = {
   up_at : int;      (** round the node restarts; [max_int] = never *)
 }
 
+(** {2 Whole-system crash/restore schedules}
+
+    Unlike per-node [crash] windows (which the engine applies itself), a
+    {!system_crash} describes the {e entire} system going down at once —
+    the scenario the persistence layer exists for.  The engine ignores
+    these entries; a snapshot-capable driver (the [bwc_persist] chaos
+    harness, experiment E15) interprets them: at [crash_round] it
+    snapshots the system, optionally corrupts the image, discards the
+    live system, waits [restore_after] rounds of downtime, and restarts
+    from the snapshot — falling back to a cold rebuild when the restore
+    is rejected. *)
+
+type snapshot_corruption =
+  | Truncate of int  (** keep only the first [n] bytes of the image *)
+  | Flip_bits of int  (** flip [n] seeded-random bit positions *)
+  | Stale_version
+      (** rewrite the header line to an unknown format version *)
+
+type system_crash = {
+  crash_round : int;  (** the whole system goes down at this round (>= 1) *)
+  restore_after : int;  (** rounds of downtime before the restart (>= 0) *)
+  corrupt : snapshot_corruption option;
+      (** what happens to the snapshot image while the system is down *)
+}
+
 val none : t
 (** The empty plan: no losses, no duplicates, no jitter, no partitions,
     no crashes.  Never draws from any RNG, so an engine with [none]
@@ -37,6 +62,7 @@ val create :
   ?jitter:int ->
   ?partitions:partition list ->
   ?crashes:crash list ->
+  ?system_crashes:system_crash list ->
   ?metrics:Bwc_obs.Registry.t ->
   rng:Bwc_stats.Rng.t ->
   unit ->
@@ -76,6 +102,21 @@ val sample_loss : t -> bool
 
 val crashes_at : t -> int -> (int * bool) list
 (** [(node, up)] transitions scheduled for the given round. *)
+
+val system_crashes : t -> system_crash list
+(** The whole-system crash schedule, ascending by round.  [create]
+    validates it (rounds >= 1, non-negative delays, at most one crash per
+    round). *)
+
+val system_crash_at : t -> int -> system_crash option
+(** The system crash scheduled for the given round, if any.  Consulted by
+    snapshot-capable drivers, never by the engine. *)
+
+val corrupt_snapshot :
+  rng:Bwc_stats.Rng.t -> snapshot_corruption -> string -> string
+(** Applies one corruption mode to a snapshot image.  Pure in (rng, mode,
+    bytes); only [Flip_bits] draws from [rng].  [Stale_version] rewrites
+    the header line to format version 999, which no decoder accepts. *)
 
 (** {2 Injection counters} *)
 

@@ -19,6 +19,9 @@ let split t =
 
 let copy t = { state = t.state }
 
+let state t = t.state
+let of_state s = { state = s }
+
 let int t bound =
   assert (bound > 0);
   (* Rejection sampling keeps the draw exactly uniform: re-draw when [r]

@@ -20,6 +20,15 @@ val copy : t -> t
 (** [copy rng] duplicates the current state; both copies then produce the
     same stream. *)
 
+val state : t -> int64
+(** The full internal state (SplitMix64 keeps exactly one 64-bit word), so
+    a generator can be persisted and resumed mid-stream. *)
+
+val of_state : int64 -> t
+(** [of_state (state rng)] continues [rng]'s stream exactly where it
+    stopped.  Unlike {!create}, the argument is {e not} a seed: it is the
+    raw state word. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -93,6 +93,19 @@ let test_no_obj_magic () =
   check_single_finding "Obj.magic flagged" ~rule:"no-obj-magic"
     "let f x = Obj.magic x\n"
 
+let test_no_marshal () =
+  check_single_finding "Marshal.to_string flagged" ~rule:"no-marshal"
+    "let f x = Marshal.to_string x []\n";
+  check_single_finding "Marshal.from_string flagged" ~rule:"no-marshal"
+    "let f s = Marshal.from_string s 0\n";
+  check_single_finding "Marshal.to_channel in persist itself" ~rule:"no-marshal"
+    ~path:"lib/persist/fixture.ml"
+    "let f oc x = Marshal.to_channel oc x []\n";
+  (* the rule guards durable library state; bin/ writes nothing durable *)
+  Alcotest.(check (list string))
+    "Marshal fine outside lib/" []
+    (rule_ids (lint ~path:"bin/fixture.ml" "let f x = Marshal.to_string x []\n"))
+
 (* ----- clean fixture ----- *)
 
 let clean_src =
@@ -240,6 +253,7 @@ let test_rule_catalog_complete () =
       "no-wall-clock-in-lib";
       "naked-failwith";
       "no-obj-magic";
+      "no-marshal";
     ]
 
 let () =
@@ -258,6 +272,7 @@ let () =
           Alcotest.test_case "no-wall-clock-in-lib" `Quick test_no_wall_clock_in_lib;
           Alcotest.test_case "naked-failwith" `Quick test_naked_failwith;
           Alcotest.test_case "no-obj-magic" `Quick test_no_obj_magic;
+          Alcotest.test_case "no-marshal" `Quick test_no_marshal;
           Alcotest.test_case "clean fixture" `Quick test_clean;
           Alcotest.test_case "catalog complete" `Quick test_rule_catalog_complete;
         ] );

@@ -876,6 +876,77 @@ let test_routing_detours_suspects () =
   Alcotest.(check bool) "node search skips the suspect" true
     (Bwc_core.Node_search.local p ~at:watcher ~targets = None)
 
+let test_detector_config_validation () =
+  (* satellite coverage: every config field boundary.  The thresholds are
+     ordered (heartbeat_every + 1 < suspect_after < confirm_after) so a
+     single lost heartbeat can never look like a death *)
+  let mk ?(heartbeat_every = 2) ?(suspect_after = 6) ?(confirm_after = 10)
+      ?(jitter = 0) () =
+    { Detector.heartbeat_every; suspect_after; confirm_after; jitter }
+  in
+  let rejects name cfg =
+    match Detector.create ~rng:(Rng.create 1) cfg with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: invalid config accepted" name
+  in
+  rejects "zero heartbeat interval" (mk ~heartbeat_every:0 ());
+  rejects "negative heartbeat interval" (mk ~heartbeat_every:(-3) ());
+  rejects "zero suspect_after" (mk ~suspect_after:0 ());
+  rejects "negative suspect_after" (mk ~suspect_after:(-1) ());
+  rejects "suspect_after = heartbeat_every + 1"
+    (mk ~heartbeat_every:2 ~suspect_after:3 ());
+  rejects "confirm_after = suspect_after" (mk ~suspect_after:6 ~confirm_after:6 ());
+  rejects "confirm_after < suspect_after" (mk ~suspect_after:6 ~confirm_after:5 ());
+  rejects "negative jitter" (mk ~jitter:(-1) ());
+  (* the tightest ordering that satisfies every constraint is accepted *)
+  let d =
+    Detector.create ~rng:(Rng.create 1)
+      (mk ~heartbeat_every:1 ~suspect_after:3 ~confirm_after:4 ())
+  in
+  Alcotest.(check int) "tightest valid config accepted" 1
+    (Detector.config d).Detector.heartbeat_every;
+  (* the System facade forwards the config to the same validation *)
+  let ds = small_dataset ~seed:44 10 in
+  match Bwc_core.System.create ~seed:45 ~detector:(mk ~confirm_after:3 ()) ds with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "System.create accepted a bad detector config"
+
+let test_epoch_monotone_across_repairs () =
+  (* satellite coverage: the repair epoch over repeated crash/repair
+     cycles.  It must bump exactly once per repair batch, never stall and
+     never wrap, and it must survive a dump/of_dump round trip so a
+     restart cannot resurrect pre-repair link state *)
+  let ds = small_dataset ~seed:93 24 in
+  let space = Bwc_dataset.Dataset.metric ds in
+  let classes = Classes.of_percentiles ~count:5 ds in
+  let ens = Ensemble.build ~rng:(Rng.create 94) space in
+  let p =
+    Protocol.create ~rng:(Rng.create 95) ~n_cut:4
+      ~detector:Detector.default_config ~classes ens
+  in
+  let (_ : int) = Protocol.run_aggregation ~max_rounds:600 p in
+  Alcotest.(check int) "epoch starts at 0" 0 (Protocol.epoch p);
+  let cycles = 4 in
+  let last = ref 0 in
+  for i = 1 to cycles do
+    Protocol.crash_host p (find_midtree_victim ens);
+    let (_ : int) = drive_until_healed p ~until_repairs:i in
+    let e = Protocol.epoch p in
+    Alcotest.(check bool)
+      (Printf.sprintf "epoch grew at cycle %d" i)
+      true (e > !last);
+    last := e
+  done;
+  Alcotest.(check int) "one epoch bump per repair batch" cycles (Protocol.epoch p);
+  Alcotest.(check int) "all victims repaired" cycles (Protocol.repairs_run p);
+  (* a query at a surviving member still routes on the repaired overlay *)
+  let survivor = List.hd (Ensemble.members ens) in
+  let (_ : Query.result) = Protocol.query p ~at:survivor ~k:2 ~cls:0 in
+  (* the epoch clock is part of the durable state *)
+  let p2 = Protocol.of_dump ~classes ens (Protocol.dump p) in
+  Alcotest.(check int) "epoch preserved by dump round trip" (Protocol.epoch p)
+    (Protocol.epoch p2)
+
 let test_dynamic_empty_members_query () =
   (* satellite regression: a query against an empty membership must be a
      clean miss, not an Rng.choose crash *)
@@ -1477,6 +1548,10 @@ let () =
             test_eviction_drives_index_delta;
           Alcotest.test_case "routing detours suspects" `Quick
             test_routing_detours_suspects;
+          Alcotest.test_case "detector config validation" `Quick
+            test_detector_config_validation;
+          Alcotest.test_case "epoch monotone across repairs" `Quick
+            test_epoch_monotone_across_repairs;
           Alcotest.test_case "query on empty membership" `Quick
             test_dynamic_empty_members_query;
           Alcotest.test_case "hop budget caps forwarding" `Quick test_query_hop_budget;
