@@ -1,17 +1,26 @@
 (* bwclint — determinism/robustness/complexity linter for this codebase.
 
-   Parses every .ml/.mli under the given paths with compiler-libs and
-   checks them against the Bwc_analysis rule catalog.  Exit codes:
-   0 clean, 1 findings, 2 parse failure (CI treats both 1 and 2 as red). *)
+   Two analysis layers: per-file syntactic rules over the Parsetree, and
+   whole-program passes (cross-module call graph, interprocedural
+   determinism taint with witness paths, domain-safety audit) over all
+   files in one run.  Exit codes: 0 clean, 1 findings (fresh relative to
+   the baseline, when one is given), 2 internal error / parse failure,
+   124 usage error. *)
 
 module Engine = Bwc_analysis.Engine
 module Report = Bwc_analysis.Report
+module Baseline = Bwc_analysis.Baseline
+module Sarif = Bwc_analysis.Sarif
+module Taint = Bwc_analysis.Taint
+module Callgraph = Bwc_analysis.Callgraph
+module Effects = Bwc_analysis.Effects
+module Finding = Bwc_analysis.Finding
 
 open Cmdliner
 
 let paths_arg =
   let doc = "Files or directories to lint (expanded recursively)." in
-  Arg.(value & pos_all string [ "lib"; "bin"; "bench"; "test" ]
+  Arg.(value & pos_all string [ "lib"; "bin"; "bench"; "test"; "examples" ]
        & info [] ~docv:"PATH" ~doc)
 
 let json_arg =
@@ -19,6 +28,44 @@ let json_arg =
     "Also write a JSON report to $(docv) (use $(b,-) for stdout)."
   in
   Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let sarif_arg =
+  let doc =
+    "Also write a SARIF 2.1.0 report to $(docv) (use $(b,-) for stdout); \
+     witness paths become code flows, audited suppressions carry their \
+     justification."
+  in
+  Arg.(value & opt (some string) None & info [ "sarif" ] ~docv:"FILE" ~doc)
+
+let baseline_arg =
+  let doc =
+    "Compare findings against the committed baseline $(docv): findings \
+     already in the baseline are carried (reported but not fatal); fresh \
+     findings and baseline entries no longer produced fail the run."
+  in
+  Arg.(value & opt (some string) None & info [ "baseline" ] ~docv:"FILE" ~doc)
+
+let update_baseline_arg =
+  let doc =
+    "Rewrite the $(b,--baseline) file from the current findings (canonical \
+     sorted JSON) and exit 0."
+  in
+  Arg.(value & flag & info [ "update-baseline" ] ~doc)
+
+let taint_arg =
+  let doc =
+    "Print the closed per-function effect table (which functions \
+     transitively read the clock, use randomness, iterate unordered \
+     tables, ...) before the findings."
+  in
+  Arg.(value & flag & info [ "taint" ] ~doc)
+
+let no_wp_arg =
+  let doc =
+    "Disable the whole-program passes (call graph, determinism taint, \
+     domain-safety audit); run only the per-file syntactic rules."
+  in
+  Arg.(value & flag & info [ "no-wp" ] ~doc)
 
 let list_rules_arg =
   let doc = "Print the rule catalog and exit." in
@@ -28,19 +75,79 @@ let quiet_arg =
   let doc = "Suppress the human-readable report on stdout." in
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc)
 
-let write_json result = function
+let with_out file k =
+  match file with
   | None -> ()
-  | Some "-" -> Report.json Format.std_formatter result
+  | Some "-" ->
+      k Format.std_formatter;
+      Format.pp_print_flush Format.std_formatter ()
   | Some file ->
       let oc = open_out file in
       Fun.protect
         ~finally:(fun () -> close_out_noerr oc)
         (fun () ->
           let ppf = Format.formatter_of_out_channel oc in
-          Report.json ppf result;
+          k ppf;
           Format.pp_print_flush ppf ())
 
-let run paths json list_rules quiet =
+let print_taint_table ppf paths =
+  let sources =
+    List.map (fun p -> (p, Engine.read_file p)) (Engine.discover paths)
+  in
+  let parsed =
+    List.filter_map
+      (fun (path, src) ->
+        match Engine.parse ~path src with
+        | Ok file -> Some (path, file, Bwc_analysis.Suppress.scan src)
+        | Error _ -> None)
+      sources
+  in
+  let supp_of = Hashtbl.create 16 in
+  List.iter (fun (p, _, s) -> Hashtbl.replace supp_of p s) parsed;
+  let audited ~rule ~file ~line =
+    match Hashtbl.find_opt supp_of file with
+    | None -> None
+    | Some supp -> (
+        match Bwc_analysis.Suppress.find supp ~rule ~line with
+        | Some e -> Some e.Bwc_analysis.Suppress.reason
+        | None -> None)
+  in
+  let cg = Callgraph.build (List.map (fun (p, f, _) -> (p, f)) parsed) in
+  let summaries = Taint.summaries ~audited cg in
+  Format.fprintf ppf "effect summaries (%d tainted function%s):@."
+    (List.length summaries)
+    (if List.length summaries = 1 then "" else "s");
+  List.iter
+    (fun (s : Taint.summary) ->
+      Format.fprintf ppf "  %s (%s)@." s.sum_def.Callgraph.name
+        s.sum_def.Callgraph.def_file;
+      List.iter
+        (fun ((kind : Effects.kind), (e : Taint.entry)) ->
+          let witness =
+            List.map
+              (fun id ->
+                match Callgraph.find cg id with
+                | Some d -> d.Callgraph.name
+                | None -> id)
+              e.Taint.e_path
+          in
+          Format.fprintf ppf "    %-36s %s (%s:%d) via %s@."
+            (Effects.kind_label kind) e.Taint.e_src.Effects.s_detail
+            e.Taint.e_src.Effects.s_file e.Taint.e_src.Effects.s_line
+            (String.concat " -> " witness))
+        s.Taint.sum_effects)
+    summaries
+
+let usage_error fmt =
+  Format.kfprintf
+    (fun _ ->
+      Format.pp_print_flush Format.err_formatter ();
+      Cmd.Exit.cli_error)
+    Format.err_formatter
+    ("bwclint: " ^^ fmt ^^ "@.")
+
+let run paths json sarif baseline update_baseline taint no_wp list_rules quiet
+    =
   if list_rules then begin
     Report.rule_catalog Format.std_formatter ();
     0
@@ -48,16 +155,90 @@ let run paths json list_rules quiet =
   else begin
     let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
     match missing with
-    | p :: _ ->
-        Format.eprintf "bwclint: no such file or directory: %s@." p;
-        2
-    | [] ->
-        let result = Engine.lint_paths paths in
-        if not quiet then Report.human Format.std_formatter result;
-        write_json result json;
-        if result.Engine.parse_failed then 2
-        else if result.Engine.findings <> [] then 1
-        else 0
+    | p :: _ -> usage_error "no such file or directory: %s" p
+    | [] when update_baseline && baseline = None ->
+        usage_error "--update-baseline requires --baseline FILE"
+    | [] -> (
+        let result = Engine.lint_paths ~whole_program:(not no_wp) paths in
+        if taint then print_taint_table Format.std_formatter paths;
+        (* the gate: everything, or only what the baseline doesn't audit *)
+        let baseline_entries =
+          match baseline with
+          | None -> Ok None
+          | Some file when update_baseline -> Ok (Some (file, []))
+          | Some file -> (
+              match Baseline.load ~path:file with
+              | Ok entries -> Ok (Some (file, entries))
+              | Error msg -> Error msg)
+        in
+        match baseline_entries with
+        | Error msg ->
+            Format.eprintf "bwclint: cannot read baseline: %s@." msg;
+            2
+        | Ok None ->
+            if not quiet then begin
+              Report.human Format.std_formatter result;
+              Report.suppression_audit Format.std_formatter result
+            end;
+            with_out json (fun ppf -> Report.json ppf result);
+            with_out sarif (fun ppf ->
+                Format.pp_print_string ppf
+                  (Sarif.to_string ~suppressed:result.Engine.suppressed
+                     result.Engine.findings));
+            if result.Engine.parse_failed then 2
+            else if result.Engine.findings <> [] then 1
+            else 0
+        | Ok (Some (file, entries)) ->
+            if update_baseline then begin
+              Baseline.save ~path:file
+                (Baseline.of_findings result.Engine.findings);
+              if not quiet then
+                Format.printf "bwclint: baseline %s updated (%d entr%s)@." file
+                  (List.length (Baseline.of_findings result.Engine.findings))
+                  (if
+                     List.length (Baseline.of_findings result.Engine.findings)
+                     = 1
+                   then "y"
+                   else "ies");
+              if result.Engine.parse_failed then 2 else 0
+            end
+            else begin
+              let diff = Baseline.apply entries result.Engine.findings in
+              let gated =
+                { result with Engine.findings = diff.Baseline.fresh }
+              in
+              if not quiet then begin
+                Report.human Format.std_formatter gated;
+                if diff.Baseline.matched <> [] then
+                  Format.printf "%d finding%s carried by baseline %s@."
+                    (List.length diff.Baseline.matched)
+                    (if List.length diff.Baseline.matched = 1 then "" else "s")
+                    file;
+                List.iter
+                  (fun (e : Baseline.entry) ->
+                    Format.printf
+                      "baseline entry no longer produced: %s %s %s (run \
+                       --update-baseline)@."
+                      e.Baseline.b_rule e.Baseline.b_file e.Baseline.b_key)
+                  diff.Baseline.gone;
+                Report.suppression_audit Format.std_formatter result
+              end;
+              with_out json (fun ppf -> Report.json ppf gated);
+              with_out sarif (fun ppf ->
+                  Format.pp_print_string ppf
+                    (Sarif.to_string
+                       ~suppressed:
+                         (result.Engine.suppressed
+                         @ List.map
+                             (fun ((f : Finding.t), _) ->
+                               (f, "carried by committed baseline"))
+                             diff.Baseline.matched)
+                       diff.Baseline.fresh));
+              if result.Engine.parse_failed then 2
+              else if diff.Baseline.fresh <> [] || diff.Baseline.gone <> []
+              then 1
+              else 0
+            end)
   end
 
 let cmd =
@@ -69,18 +250,33 @@ let cmd =
     [
       `S Manpage.s_description;
       `P
-        "Walks the Parsetree of every OCaml source under PATH... and \
-         reports violations of the bwcluster invariant catalog (seeded \
-         determinism, total functions in protocol paths, linear-time \
-         accumulation, library purity).  See $(b,--list-rules).";
+        "Walks the Parsetree of every OCaml source under PATH..., runs the \
+         per-file rule catalog, then builds the cross-module call graph and \
+         runs the whole-program passes: interprocedural determinism taint \
+         (hot-path functions transitively reaching nondeterminism sources, \
+         with full witness paths) and the domain-safety audit (module-level \
+         mutable state that blocks multicore sharding).  See \
+         $(b,--list-rules).";
       `P
-        "Findings are suppressed inline with (* bwclint: allow <rule> *) \
-         on the offending line or the line above; stale suppressions are \
-         themselves reported.";
+        "Findings are suppressed inline with \
+         (* bwclint: allow <rule> -- <reason> *) on the offending line or \
+         the line above.  The reason is required (its absence is itself \
+         reported) and is surfaced by the JSON/SARIF reporters; stale \
+         suppressions that match nothing in any pass are reported too.";
+      `P
+        "With $(b,--baseline), pre-existing audited findings are carried \
+         while anything fresh — or any baseline entry that no longer \
+         reproduces — fails the run.";
+      `S Manpage.s_exit_status;
+      `P "0 on a clean tree, 1 on findings, 2 on internal/parse errors, 124 \
+          on usage errors.";
     ]
   in
   Cmd.v
     (Cmd.info "bwclint" ~version:"%%VERSION%%" ~doc ~man)
-    Term.(const run $ paths_arg $ json_arg $ list_rules_arg $ quiet_arg)
+    Term.(
+      const run $ paths_arg $ json_arg $ sarif_arg $ baseline_arg
+      $ update_baseline_arg $ taint_arg $ no_wp_arg $ list_rules_arg
+      $ quiet_arg)
 
 let () = Stdlib.exit (Cmd.eval' cmd)

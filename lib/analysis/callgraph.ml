@@ -1,0 +1,360 @@
+(* Cross-module call graph over Parsetrees.
+
+   Each .ml file is one compilation unit; its module name is the
+   capitalized basename (lib/sim/engine.ml -> Engine).  Because several
+   directories reuse unit names (lib/sim/engine.ml vs
+   lib/analysis/engine.ml), defs are keyed internally by
+   (directory, qualified name) while the display name stays the
+   familiar "Engine.run_round".
+
+   Reference resolution is purely syntactic, in priority order:
+     1. locally-bound names (params, let patterns, let module) — the
+        shadowing approximation: a body that binds [hd] never resolves
+        a bare [hd] to a module-level function;
+     2. submodules of the enclosing unit, innermost scope first;
+     3. file-level module aliases ([module P = Protocol]), expanded
+        transitively;
+     4. a unit in the same directory (intra-library references are
+        unqualified across units: [Protocol.send] from lib/core);
+     5. a unit with that name in exactly one scanned directory;
+     6. library-qualified paths: [Bwc_sim.Engine.run] maps through the
+        wrapped-library naming convention bwc_<d> <-> lib/<d>.
+   Anything else (functor applications, locally-opened modules, stdlib
+   calls) resolves to nothing — a conservative miss, never a wrong
+   edge across same-named units. *)
+
+type call = {
+  callee : string;  (* internal id of the target def *)
+  call_line : int;
+  call_col : int;
+}
+
+type def = {
+  id : string;  (* dir ^ "//" ^ name — unique across same-named units *)
+  name : string;  (* display: "Engine.run_round", "Registry.Counter.incr" *)
+  unit_dir : string;
+  def_file : string;
+  def_line : int;
+  def_col : int;
+  body : Parsetree.expression;
+  is_toplevel_value : bool;
+      (* a plain [let x = ...] at structure level (not syntactically a
+         function) — the domain-safety pass scans these *)
+  mutable calls : call list;
+}
+
+type t = {
+  by_id : (string, def) Hashtbl.t;
+  all : def list;  (* sorted by id *)
+}
+
+let normalize_path path =
+  String.map (fun c -> if c = '\\' then '/' else c) path
+
+let unit_name path =
+  String.capitalize_ascii
+    (Filename.remove_extension (Filename.basename (normalize_path path)))
+
+let unit_dir path = Filename.dirname (normalize_path path)
+let id_of ~dir name = dir ^ "//" ^ name
+
+let is_upper_ident s =
+  String.length s > 0 && s.[0] >= 'A' && s.[0] <= 'Z'
+
+let is_lower_ident s =
+  String.length s > 0 && ((s.[0] >= 'a' && s.[0] <= 'z') || s.[0] = '_')
+
+(* bwc_<d> wrapped-library prefix -> lib/<d> directory *)
+let lib_dir_of_prefix m =
+  let lower = String.lowercase_ascii m in
+  if String.length lower > 4 && String.sub lower 0 4 = "bwc_" then
+    Some ("lib/" ^ String.sub lower 4 (String.length lower - 4))
+  else None
+
+(* ----- pass 1: collect defs and file-level module aliases ----- *)
+
+type proto_def = {
+  p_name : string;
+  p_stack : string list;  (* enclosing submodules, innermost first *)
+  p_expr : Parsetree.expression;
+  p_loc : Location.t;
+  p_toplevel_value : bool;
+}
+
+let rec is_syntactic_fun (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_newtype (_, e) | Pexp_constraint (e, _) -> is_syntactic_fun e
+  | _ -> false
+
+let collect_file (str : Parsetree.structure) =
+  let defs = ref [] in
+  let aliases : (string, string list) Hashtbl.t = Hashtbl.create 8 in
+  let rec item stack (si : Parsetree.structure_item) =
+    match si.pstr_desc with
+    | Pstr_value (_, vbs) ->
+        List.iter
+          (fun (vb : Parsetree.value_binding) ->
+            let rec pat_name (p : Parsetree.pattern) =
+              match p.ppat_desc with
+              | Ppat_var { txt; _ } -> Some txt
+              | Ppat_constraint (p, _) -> pat_name p
+              | _ -> None
+            in
+            let name, named =
+              match pat_name vb.pvb_pat with
+              | Some n -> (n, true)
+              | None ->
+                  (* let () = ..., let _ = ..., destructuring lets:
+                     unreferencable module-initialization code *)
+                  ( Printf.sprintf "(init@%d)"
+                      vb.pvb_loc.Location.loc_start.pos_lnum,
+                    false )
+            in
+            defs :=
+              {
+                p_name = name;
+                p_stack = stack;
+                p_expr = vb.pvb_expr;
+                p_loc = vb.pvb_pat.ppat_loc;
+                p_toplevel_value = named && not (is_syntactic_fun vb.pvb_expr);
+              }
+              :: !defs)
+          vbs
+    | Pstr_module mb -> module_binding stack mb
+    | Pstr_recmodule mbs -> List.iter (module_binding stack) mbs
+    | _ -> ()
+  and module_binding stack (mb : Parsetree.module_binding) =
+    match mb.pmb_name.txt with
+    | None -> ()
+    | Some name -> module_expr stack name mb.pmb_expr
+  and module_expr stack name (me : Parsetree.module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure items -> List.iter (item (name :: stack)) items
+    | Pmod_constraint (me, _) -> module_expr stack name me
+    | Pmod_ident { txt; _ } ->
+        Hashtbl.replace aliases name
+          (Ast_scan.normalize (Ast_scan.flatten_longident txt))
+    | _ -> ()
+  in
+  List.iter (item []) str;
+  (List.rev !defs, aliases)
+
+(* ----- pass 2: reference extraction per def body ----- *)
+
+(* Every name bound anywhere inside the body (function params, let
+   patterns, match cases) plus let-module names: the shadowing set. *)
+let bound_names (body : Parsetree.expression) =
+  let vals = Hashtbl.create 16 in
+  let mods = Hashtbl.create 4 in
+  let open Ast_iterator in
+  let pat it (p : Parsetree.pattern) =
+    (match p.ppat_desc with
+    | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+        Hashtbl.replace vals txt ()
+    | _ -> ());
+    default_iterator.pat it p
+  in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_letmodule ({ txt = Some m; _ }, _, _) -> Hashtbl.replace mods m ()
+    | _ -> ());
+    default_iterator.expr it e
+  in
+  let it = { default_iterator with pat; expr } in
+  it.expr it body;
+  (vals, mods)
+
+let idents_used (body : Parsetree.expression) =
+  let acc = ref [] in
+  let open Ast_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident { txt; _ } ->
+        acc :=
+          (Ast_scan.normalize (Ast_scan.flatten_longident txt), e.pexp_loc)
+          :: !acc
+    | _ -> ());
+    default_iterator.expr it e
+  in
+  let it = { default_iterator with expr } in
+  it.expr it body;
+  List.rev !acc
+
+(* innermost-first enclosing-scope prefixes: for unit U and
+   innermost-first submodule stack [B; A] -> [[U;A;B]; [U;A]; [U]] *)
+let scope_prefixes unit rev_stack =
+  let rec go rs =
+    (unit :: List.rev rs) :: (match rs with [] -> [] | _ :: tl -> go tl)
+  in
+  go rev_stack
+
+(* ----- build ----- *)
+
+let build files =
+  let by_id = Hashtbl.create 256 in
+  let dirs_of_unit = Hashtbl.create 32 in
+  let inserted = ref [] in
+  let per_file = ref [] in
+  (* pass 1: register every def *)
+  List.iter
+    (fun (path, file) ->
+      match file with
+      | Ast_scan.Signature _ -> ()
+      | Ast_scan.Structure str ->
+          let path = normalize_path path in
+          let unit = unit_name path in
+          let dir = unit_dir path in
+          let protos, aliases = collect_file str in
+          let dirs =
+            match Hashtbl.find_opt dirs_of_unit unit with
+            | Some ds -> ds
+            | None -> []
+          in
+          if not (List.mem dir dirs) then
+            Hashtbl.replace dirs_of_unit unit
+              (List.sort String.compare (dir :: dirs));
+          let defs =
+            List.filter_map
+              (fun p ->
+                let name =
+                  String.concat "." (unit :: List.rev (p.p_name :: p.p_stack))
+                in
+                let id = id_of ~dir name in
+                (* first binding of a rebound top-level name wins; a
+                   rare shadowing rebind would otherwise overwrite the
+                   node other files already resolved against *)
+                if Hashtbl.mem by_id id then None
+                else begin
+                  let pos = p.p_loc.Location.loc_start in
+                  let d =
+                    {
+                      id;
+                      name;
+                      unit_dir = dir;
+                      def_file = path;
+                      def_line = pos.pos_lnum;
+                      def_col = pos.pos_cnum - pos.pos_bol;
+                      body = p.p_expr;
+                      is_toplevel_value = p.p_toplevel_value;
+                      calls = [];
+                    }
+                  in
+                  Hashtbl.replace by_id id d;
+                  inserted := d :: !inserted;
+                  Some (d, p)
+                end)
+              protos
+          in
+          per_file := (dir, unit, aliases, defs) :: !per_file)
+    files;
+  let find_id id = Hashtbl.find_opt by_id id in
+  (* pass 2: resolve references *)
+  List.iter
+    (fun (dir, unit, aliases, defs) ->
+      let expand_alias m =
+        let rec go fuel m rest =
+          if fuel = 0 then m :: rest
+          else
+            match Hashtbl.find_opt aliases m with
+            | Some (m' :: rest') ->
+                go (fuel - 1) m' (List.rev_append (List.rev rest') rest)
+            | Some [] | None -> m :: rest
+        in
+        go 5 m []
+      in
+      let lookup_in_dir d u rest =
+        if rest = [] then None
+        else find_id (id_of ~dir:d (String.concat "." (u :: rest)))
+      in
+      let resolve_qualified stack p =
+        match p with
+        | [] -> None
+        | m :: rest -> (
+            match lib_dir_of_prefix m with
+            | Some libdir -> (
+                match rest with
+                | u :: rest' when is_upper_ident u ->
+                    lookup_in_dir libdir u rest'
+                | _ -> None)
+            | None -> (
+                (* submodule of the enclosing unit, innermost first *)
+                let sub =
+                  List.find_map
+                    (fun prefix ->
+                      find_id
+                        (id_of ~dir (String.concat "." (prefix @ (m :: rest)))))
+                    (scope_prefixes unit stack)
+                in
+                match sub with
+                | Some d -> Some d
+                | None -> (
+                    match lookup_in_dir dir m rest with
+                    | Some d -> Some d
+                    | None -> (
+                        match Hashtbl.find_opt dirs_of_unit m with
+                        | Some [ d ] when d <> dir -> lookup_in_dir d m rest
+                        | _ -> None))))
+      in
+      List.iter
+        (fun (d, proto) ->
+          let locals, local_mods = bound_names d.body in
+          let seen = Hashtbl.create 8 in
+          let add callee (loc : Location.t) =
+            if callee.id <> d.id && not (Hashtbl.mem seen callee.id) then begin
+              Hashtbl.replace seen callee.id ();
+              let pos = loc.Location.loc_start in
+              d.calls <-
+                {
+                  callee = callee.id;
+                  call_line = pos.pos_lnum;
+                  call_col = pos.pos_cnum - pos.pos_bol;
+                }
+                :: d.calls
+            end
+          in
+          List.iter
+            (fun (path, loc) ->
+              match path with
+              | [ x ] when is_lower_ident x ->
+                  if not (Hashtbl.mem locals x) then (
+                    match
+                      List.find_map
+                        (fun prefix ->
+                          find_id
+                            (id_of ~dir (String.concat "." prefix ^ "." ^ x)))
+                        (scope_prefixes unit proto.p_stack)
+                    with
+                    | Some callee -> add callee loc
+                    | None -> ())
+              | m :: rest when is_upper_ident m ->
+                  if not (Hashtbl.mem local_mods m) then (
+                    match resolve_qualified proto.p_stack (expand_alias m @ rest) with
+                    | Some callee -> add callee loc
+                    | None -> ())
+              | _ -> ())
+            (idents_used d.body);
+          d.calls <- List.rev d.calls)
+        defs)
+    (List.rev !per_file);
+  { by_id; all = List.sort (fun a b -> String.compare a.id b.id) !inserted }
+
+let defs t = t.all
+let find t id = Hashtbl.find_opt t.by_id id
+let find_by_name t name = List.filter (fun d -> d.name = name) t.all
+
+(* Reverse adjacency: callee id -> caller ids.  Callers may appear once
+   per distinct edge; the taint worklist tolerates duplicates. *)
+let callers t =
+  let rev = Hashtbl.create 256 in
+  List.iter
+    (fun d ->
+      List.iter
+        (fun c ->
+          let cur =
+            match Hashtbl.find_opt rev c.callee with Some l -> l | None -> []
+          in
+          Hashtbl.replace rev c.callee (d.id :: cur))
+        d.calls)
+    t.all;
+  rev

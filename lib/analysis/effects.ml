@@ -1,0 +1,133 @@
+(* Per-function direct effect summaries.
+
+   Each def body is scanned once for primitive effect sources; the
+   interprocedural closure over the call graph happens in Taint.  The
+   primitive catalogs are shared with the syntactic rules (Rules.*_idents)
+   so the per-file and whole-program layers can never disagree about
+   what counts as a source.
+
+   Scoping mirrors the rule catalog's allowlists but not its only-paths:
+   lib/stats/rng.ml is the audited randomness module and lib/obs/span.ml
+   the audited clock reader, so uses *inside* them are not sources; a
+   clock read in bench/ however is still a source, because what matters
+   interprocedurally is whether a hot path can reach it, not where it
+   lives. *)
+
+type kind =
+  | Wall_clock
+  | Randomness
+  | Unordered_iter
+  | Phys_compare
+  | Global_mutation
+  | Io
+  | Raises
+
+type source = {
+  s_kind : kind;
+  s_detail : string;  (* the primitive, e.g. "Hashtbl.iter" *)
+  s_file : string;
+  s_line : int;
+  s_col : int;
+}
+
+let kind_label = function
+  | Wall_clock -> "reads-wall-clock"
+  | Randomness -> "uses-randomness"
+  | Unordered_iter -> "nondeterministic-iteration-order"
+  | Phys_compare -> "physical-equality"
+  | Global_mutation -> "mutates-global-state"
+  | Io -> "performs-io"
+  | Raises -> "raises"
+
+let all_kinds =
+  [
+    Wall_clock;
+    Randomness;
+    Unordered_iter;
+    Phys_compare;
+    Global_mutation;
+    Io;
+    Raises;
+  ]
+
+(* The kinds that break the seeded byte-identical contract. *)
+let is_nondet = function
+  | Wall_clock | Randomness | Unordered_iter | Phys_compare -> true
+  | Global_mutation | Io | Raises -> false
+
+(* The syntactic rule whose audited-path allowlist (and inline
+   suppressions) also govern this effect kind. *)
+let rule_for = function
+  | Wall_clock -> Some "no-wall-clock-in-lib"
+  | Randomness -> Some "no-stdlib-random"
+  | Unordered_iter -> Some "no-unordered-hashtbl-iter"
+  | Phys_compare | Global_mutation | Io | Raises -> None
+
+let path_exempt kind file =
+  match rule_for kind with
+  | None -> false
+  | Some id -> (
+      match Rules.find id with
+      | None -> false
+      | Some rule -> Rules.path_exempt rule file)
+
+let raise_idents = [ "failwith"; "invalid_arg"; "raise"; "raise_notrace" ]
+let io_extra_idents = [ "output_string"; "output_char"; "open_out"; "open_in" ]
+
+let source_of kind detail (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  {
+    s_kind = kind;
+    s_detail = detail;
+    s_file = p.pos_fname;
+    s_line = p.pos_lnum;
+    s_col = p.pos_cnum - p.pos_bol;
+  }
+
+let is_constant (e : Parsetree.expression) =
+  match e.pexp_desc with Pexp_constant _ -> true | _ -> false
+
+(* Direct sources of one def body, in source order. *)
+let direct (d : Callgraph.def) =
+  let acc = ref [] in
+  let add kind detail loc =
+    if not (path_exempt kind d.Callgraph.def_file) then
+      acc := source_of kind detail loc :: !acc
+  in
+  let open Ast_iterator in
+  let expr it (e : Parsetree.expression) =
+    (match e.pexp_desc with
+    | Pexp_ident _ -> (
+        match Ast_scan.ident_path e with
+        | None -> ()
+        | Some path ->
+            let dotted = Ast_scan.dotted path in
+            if List.mem dotted Rules.wall_clock_idents then
+              add Wall_clock dotted e.pexp_loc
+            else if match path with "Random" :: _ :: _ -> true | _ -> false
+            then add Randomness dotted e.pexp_loc
+            else if List.mem dotted Rules.hashtbl_iter_idents then
+              add Unordered_iter dotted e.pexp_loc
+            else if
+              List.mem dotted Rules.print_idents
+              || List.mem dotted io_extra_idents
+            then add Io dotted e.pexp_loc
+            else if
+              List.mem dotted raise_idents
+              || List.mem dotted Rules.partial_idents
+            then add Raises dotted e.pexp_loc)
+    | Pexp_apply (fn, args) -> (
+        match Ast_scan.ident_path fn with
+        | Some [ (("==" | "!=") as op) ] ->
+            (* physical equality on two non-constant operands: observes
+               sharing, which seed-identical runs need not preserve *)
+            let plain = Ast_scan.plain_args args in
+            if List.length plain >= 2 && not (List.exists is_constant plain)
+            then add Phys_compare op fn.pexp_loc
+        | _ -> ())
+    | _ -> ());
+    default_iterator.expr it e
+  in
+  let it = { default_iterator with expr } in
+  it.expr it d.Callgraph.body;
+  List.rev !acc

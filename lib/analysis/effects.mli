@@ -1,0 +1,43 @@
+(** Per-function direct effect summaries.
+
+    One scan per def body over the shared primitive catalogs
+    ({!Rules.hashtbl_iter_idents} etc.); the interprocedural closure
+    lives in {!Taint}.  Path allowlists of the corresponding syntactic
+    rules are honored (lib/stats/rng.ml, lib/obs/span.ml are audited and
+    produce no sources), but only-path restrictions are not: a clock
+    read in bench/ is still a source — what matters interprocedurally is
+    whether a hot path can reach it. *)
+
+type kind =
+  | Wall_clock
+  | Randomness
+  | Unordered_iter
+  | Phys_compare  (** [==]/[!=] on two non-constant operands *)
+  | Global_mutation
+      (** references module-level mutable state (attached by {!Taint}
+          from the domain-safety scan, not by {!direct}) *)
+  | Io
+  | Raises
+
+type source = {
+  s_kind : kind;
+  s_detail : string;  (** the primitive, e.g. ["Hashtbl.iter"] *)
+  s_file : string;
+  s_line : int;
+  s_col : int;
+}
+
+val kind_label : kind -> string
+(** e.g. ["nondeterministic-iteration-order"]. *)
+
+val all_kinds : kind list
+
+val is_nondet : kind -> bool
+(** The kinds that break the seeded byte-identical contract. *)
+
+val rule_for : kind -> string option
+(** The syntactic rule whose allowlist and inline suppressions also
+    govern this effect kind. *)
+
+val direct : Callgraph.def -> source list
+(** Direct effect sources of one def body, in source order. *)

@@ -27,11 +27,15 @@ let contains ~sub s =
   let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
   m = 0 || go 0
 
-let applies rule path =
+let path_exempt rule path =
   let path = normalize_path path in
+  List.exists (fun frag -> contains ~sub:frag path) rule.allow_paths
+
+let applies rule path =
+  let norm = normalize_path path in
   (rule.only_paths = []
-  || List.exists (fun frag -> contains ~sub:frag path) rule.only_paths)
-  && not (List.exists (fun frag -> contains ~sub:frag path) rule.allow_paths)
+  || List.exists (fun frag -> contains ~sub:frag norm) rule.only_paths)
+  && not (path_exempt rule path)
 
 (* ----- generic helpers ----- *)
 
@@ -61,6 +65,44 @@ let banned_idents ~id ~severity ~doc ?(only_paths = []) ?(allow_paths = [])
     }
   in
   rule
+
+(* ----- shared primitive catalogs -----
+
+   These ident lists are the single source of truth for "what counts as
+   a nondeterminism/IO primitive": the per-file syntactic rules below
+   match on them, and the whole-program effect pass (Effects) seeds its
+   taint sources from the very same lists, so the two layers can never
+   disagree about what is banned. *)
+
+let hashtbl_iter_idents =
+  [
+    "Hashtbl.iter";
+    "Hashtbl.fold";
+    "Hashtbl.filter_map_inplace";
+    "MoreLabels.Hashtbl.iter";
+    "MoreLabels.Hashtbl.fold";
+  ]
+
+let wall_clock_idents = [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+
+let print_idents =
+  [
+    "print_endline";
+    "print_string";
+    "print_newline";
+    "print_int";
+    "print_float";
+    "prerr_endline";
+    "prerr_string";
+    "prerr_newline";
+    "Printf.printf";
+    "Printf.eprintf";
+    "Format.printf";
+    "Format.eprintf";
+    "exit";
+  ]
+
+let partial_idents = [ "List.hd"; "List.tl"; "List.nth"; "Option.get" ]
 
 (* ----- determinism rules ----- *)
 
@@ -105,13 +147,7 @@ let no_unordered_hashtbl_iter =
       ^ " visits bindings in nondeterministic bucket order; use \
          Bwc_stats.Tbl sorted traversal, or suppress with a justification \
          if the body is order-independent")
-    [
-      "Hashtbl.iter";
-      "Hashtbl.fold";
-      "Hashtbl.filter_map_inplace";
-      "MoreLabels.Hashtbl.iter";
-      "MoreLabels.Hashtbl.fold";
-    ]
+    hashtbl_iter_idents
 
 let float_comparators = [ "="; "<>"; "compare" ]
 
@@ -179,7 +215,7 @@ let no_partial_stdlib =
       ident
       ^ " raises on the empty case; pattern-match or use an _opt accessor \
          so faults degrade instead of crashing")
-    [ "List.hd"; "List.tl"; "List.nth"; "Option.get" ]
+    partial_idents
 
 let naked_failwith =
   let rec rule =
@@ -361,21 +397,7 @@ let no_print_in_lib =
       ident
       ^ " in library code; return values, take a formatter parameter, or \
          use Logs")
-    [
-      "print_endline";
-      "print_string";
-      "print_newline";
-      "print_int";
-      "print_float";
-      "prerr_endline";
-      "prerr_string";
-      "prerr_newline";
-      "Printf.printf";
-      "Printf.eprintf";
-      "Format.printf";
-      "Format.eprintf";
-      "exit";
-    ]
+    print_idents
 
 let no_wall_clock_in_lib =
   banned_idents ~id:"no-wall-clock-in-lib" ~severity:Finding.Error
@@ -390,7 +412,7 @@ let no_wall_clock_in_lib =
       ident
       ^ " reads the wall clock in library code; use Bwc_obs.Span for opt-in \
          profiling or clock by simulation rounds")
-    [ "Unix.gettimeofday"; "Unix.time"; "Sys.time" ]
+    wall_clock_idents
 
 let all =
   [

@@ -20,6 +20,20 @@ type t = {
 val applies : t -> string -> bool
 (** Whether the rule runs on the given file path (only/allow lists). *)
 
+val path_exempt : t -> string -> bool
+(** Whether the path is on the rule's audited allowlist — also consulted
+    by the whole-program effect pass, so e.g. [lib/obs/span.ml] is not a
+    wall-clock taint source. *)
+
+(** Shared primitive catalogs — the same ident lists seed both the
+    syntactic rules and the whole-program effect pass ({!Effects}), so
+    the two analysis layers agree on what counts as a source. *)
+
+val hashtbl_iter_idents : string list
+val wall_clock_idents : string list
+val print_idents : string list
+val partial_idents : string list
+
 val no_stdlib_random : t
 val no_unordered_hashtbl_iter : t
 val no_polymorphic_compare_on_floats : t

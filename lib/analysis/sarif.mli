@@ -1,0 +1,12 @@
+(** SARIF 2.1.0 reporter.
+
+    Findings become [results] with physical locations; multi-hop
+    witness paths become [codeFlows]/[threadFlows] with logical
+    locations per step, so code-scanning UIs render the call chain.
+    Suppressed findings are emitted too, marked with an [inSource]
+    suppression carrying the audit justification — the UI is the audit
+    trail; exit-code policy stays in the CLI. *)
+
+val to_string : ?suppressed:(Finding.t * string) list -> Finding.t list -> string
+(** The complete SARIF document (one run, tool [bwclint], full rule
+    metadata including whole-program and meta rules). *)

@@ -1,0 +1,473 @@
+(* Whole-program passes: interprocedural effect taint and the
+   domain-safety audit.
+
+   A fixed-point worklist propagates effect summaries (Effects.direct)
+   backwards over the call graph, keeping for each (function, effect
+   kind) the best witness — shortest call chain, ties broken
+   lexicographically so reruns are byte-identical.  On top of the
+   closure sit two rule families:
+
+   determinism-taint (error): a function in a hot-path unit (Engine,
+   Protocol, Find_cluster) transitively reaches a nondeterminism
+   primitive — ambient randomness, a wall-clock read, unordered Hashtbl
+   traversal, physical equality — through any depth of calls.  The
+   finding carries the full witness path.  Sources whose site carries an
+   audited suppression (for the underlying syntactic rule or for
+   determinism-taint itself) are cut before propagation, so the five
+   audited iteration sites do not taint their callers.
+
+   domain-unsafe-global / domain-unsafe-capture (warning): module-level
+   mutable state (top-level refs, Hashtbls, Buffers, arrays — including
+   records/tuples holding them) and top-level closures over fresh
+   mutable state (memoization caches).  These are exactly the bindings
+   that become shared across cores once rounds execute on multiple
+   OCaml 5 domains, i.e. the concrete blocker list for the multicore
+   refactor. *)
+
+let determinism_rule = "determinism-taint"
+let global_rule = "domain-unsafe-global"
+let capture_rule = "domain-unsafe-capture"
+
+let rules =
+  [
+    ( determinism_rule,
+      Finding.Error,
+      "A function reachable from the Engine/Protocol/Find_cluster hot paths \
+       transitively hits a nondeterminism source (Random.*, wall clock, \
+       unordered Hashtbl traversal, physical equality) through any depth of \
+       calls; the finding carries the witness path.  Audit the primitive \
+       site or the hot-path function with an allow comment carrying a \
+       reason, or cut the path." );
+    ( global_rule,
+      Finding.Warning,
+      "Module-level mutable state (top-level ref/Hashtbl/Buffer/array, \
+       records or tuples holding them) is shared by every domain after the \
+       multicore refactor; thread it through a constructor or suppress \
+       with an audited reason." );
+    ( capture_rule,
+      Finding.Warning,
+      "A top-level closure captures freshly created mutable state (the \
+       memoization-cache pattern); the cache is shared across domains \
+       while the closure looks pure to callers." );
+  ]
+
+let hot_units = [ "Engine"; "Protocol"; "Find_cluster" ]
+
+type audited = rule:string -> file:string -> line:int -> string option option
+(* None: no suppression.  Some reason_opt: suppressed (reason_opt is the
+   justification, None when the comment lacks one).  Calling marks the
+   suppression used. *)
+
+type outcome = {
+  findings : Finding.t list;
+  suppressed : (Finding.t * string) list;
+}
+
+(* ----- domain safety ----- *)
+
+let mutable_ctor_idents =
+  [
+    ("ref", "ref");
+    ("Hashtbl.create", "Hashtbl.create");
+    ("Buffer.create", "Buffer.create");
+    ("Queue.create", "Queue.create");
+    ("Stack.create", "Stack.create");
+    ("Array.make", "Array.make");
+    ("Array.init", "Array.init");
+    ("Array.create_float", "Array.create_float");
+    ("Bytes.create", "Bytes.create");
+    ("Bytes.make", "Bytes.make");
+  ]
+
+let rec creates_mutable (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_apply (fn, _) -> (
+      match Ast_scan.ident_path fn with
+      | Some p -> List.assoc_opt (Ast_scan.dotted p) mutable_ctor_idents
+      | None -> None)
+  | Pexp_record (fields, _) ->
+      List.find_map (fun (_, v) -> creates_mutable v) fields
+  | Pexp_tuple es -> List.find_map creates_mutable es
+  | Pexp_constraint (e, _) -> creates_mutable e
+  | Pexp_array [] -> None (* zero-length: nothing to mutate, sharing is safe *)
+  | Pexp_array _ -> Some "array literal"
+  | _ -> None
+
+let rec is_fun (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_fun _ | Pexp_function _ -> true
+  | Pexp_newtype (_, e) | Pexp_constraint (e, _) -> is_fun e
+  | _ -> false
+
+(* Peel the [let x = ... in] chain off a top-level binding, collecting
+   mutable constructors bound on the way down to the final expression. *)
+let rec peel_lets acc (e : Parsetree.expression) =
+  match e.pexp_desc with
+  | Pexp_let (_, vbs, body) ->
+      let acc =
+        List.fold_left
+          (fun acc (vb : Parsetree.value_binding) ->
+            match creates_mutable vb.pvb_expr with
+            | Some detail -> detail :: acc
+            | None -> acc)
+          acc vbs
+      in
+      peel_lets acc body
+  | Pexp_constraint (e, _) -> peel_lets acc e
+  | _ -> (List.rev acc, e)
+
+let domain_scope file =
+  let file = String.map (fun c -> if c = '\\' then '/' else c) file in
+  let contains sub s =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  contains "lib/" file || contains "fixtures" file
+
+(* Classify one top-level value binding; returns (rule, detail). *)
+let classify_toplevel (d : Callgraph.def) =
+  if not (d.Callgraph.is_toplevel_value && domain_scope d.Callgraph.def_file)
+  then None
+  else
+    let peeled, final = peel_lets [] d.Callgraph.body in
+    match creates_mutable final with
+    | Some detail -> Some (global_rule, detail)
+    | None -> (
+        match peeled with
+        | [] -> None
+        | detail :: _ ->
+            if is_fun final then Some (capture_rule, detail)
+            else Some (global_rule, detail))
+
+(* ----- effect closure ----- *)
+
+let kind_index = function
+  | Effects.Wall_clock -> 0
+  | Effects.Randomness -> 1
+  | Effects.Unordered_iter -> 2
+  | Effects.Phys_compare -> 3
+  | Effects.Global_mutation -> 4
+  | Effects.Io -> 5
+  | Effects.Raises -> 6
+
+type entry = {
+  e_len : int;
+  e_path : string list;  (* def ids, reported def first, source def last *)
+  e_src : Effects.source;
+}
+
+let better a b =
+  (* strictly better: shorter path, then lexicographic path, then
+     source location — a deterministic total preorder *)
+  let c = Int.compare a.e_len b.e_len in
+  if c <> 0 then c < 0
+  else
+    let c = List.compare String.compare a.e_path b.e_path in
+    if c <> 0 then c < 0
+    else
+      compare
+        (a.e_src.Effects.s_file, a.e_src.s_line, a.e_src.s_col)
+        (b.e_src.Effects.s_file, b.e_src.s_line, b.e_src.s_col)
+      < 0
+
+let kind_phrase = function
+  | Effects.Wall_clock -> "a wall-clock read"
+  | Effects.Randomness -> "ambient randomness"
+  | Effects.Unordered_iter -> "nondeterministic iteration order"
+  | Effects.Phys_compare -> "physical equality on mutable values"
+  | Effects.Global_mutation -> "module-level mutable state"
+  | Effects.Io -> "IO"
+  | Effects.Raises -> "a raising primitive"
+
+(* The whole-program summary table, exposed for reporting/tests. *)
+type summary = {
+  sum_def : Callgraph.def;
+  sum_effects : (Effects.kind * entry) list;  (* in kind order *)
+}
+
+let close ~audited (cg : Callgraph.t) ~mutable_globals =
+  let best : (string * int, entry) Hashtbl.t = Hashtbl.create 512 in
+  let work = Queue.create () in
+  let improve id kind cand =
+    let key = (id, kind_index kind) in
+    match Hashtbl.find_opt best key with
+    | Some cur when not (better cand cur) -> ()
+    | _ ->
+        Hashtbl.replace best key cand;
+        Queue.add id work
+  in
+  (* seed with direct sources, cutting audited nondet sites *)
+  List.iter
+    (fun (d : Callgraph.def) ->
+      let seen_kind = Hashtbl.create 4 in
+      List.iter
+        (fun (s : Effects.source) ->
+          if not (Hashtbl.mem seen_kind (kind_index s.s_kind)) then begin
+            let cut =
+              Effects.is_nondet s.s_kind
+              && (List.exists
+                    (fun rule ->
+                      audited ~rule ~file:s.s_file ~line:s.s_line <> None)
+                    (determinism_rule
+                    :: Option.to_list (Effects.rule_for s.s_kind)))
+            in
+            if not cut then begin
+              Hashtbl.replace seen_kind (kind_index s.s_kind) ();
+              improve d.id s.s_kind
+                { e_len = 1; e_path = [ d.id ]; e_src = s }
+            end
+          end)
+        (Effects.direct d);
+      (* references to module-level mutable state, from the domain scan *)
+      List.iter
+        (fun (c : Callgraph.call) ->
+          if
+            Hashtbl.mem mutable_globals c.callee
+            && not (Hashtbl.mem seen_kind (kind_index Effects.Global_mutation))
+          then begin
+            Hashtbl.replace seen_kind (kind_index Effects.Global_mutation) ();
+            let target =
+              match Callgraph.find cg c.callee with
+              | Some g -> g.name
+              | None -> c.callee
+            in
+            improve d.id Effects.Global_mutation
+              {
+                e_len = 1;
+                e_path = [ d.id ];
+                e_src =
+                  {
+                    Effects.s_kind = Effects.Global_mutation;
+                    s_detail = "reference to " ^ target;
+                    s_file = d.def_file;
+                    s_line = c.call_line;
+                    s_col = c.call_col;
+                  };
+              }
+          end)
+        d.calls)
+    (Callgraph.defs cg);
+  (* propagate backwards over call edges to a fixed point *)
+  let rev = Callgraph.callers cg in
+  let rec drain () =
+    match Queue.take_opt work with
+    | None -> ()
+    | Some g ->
+        (match Hashtbl.find_opt rev g with
+        | None -> ()
+        | Some caller_ids ->
+            List.iter
+              (fun caller ->
+                List.iter
+                  (fun kind ->
+                    match Hashtbl.find_opt best (g, kind_index kind) with
+                    | None -> ()
+                    | Some e ->
+                        if not (List.mem caller e.e_path) then
+                          improve caller kind
+                            {
+                              e_len = e.e_len + 1;
+                              e_path = caller :: e.e_path;
+                              e_src = e.e_src;
+                            })
+                  Effects.all_kinds)
+              caller_ids);
+        drain ()
+  in
+  drain ();
+  best
+
+let summaries ~audited cg =
+  let mutable_globals = Hashtbl.create 16 in
+  List.iter
+    (fun (d : Callgraph.def) ->
+      match classify_toplevel d with
+      | Some _ -> Hashtbl.replace mutable_globals d.Callgraph.id ()
+      | None -> ())
+    (Callgraph.defs cg);
+  let best = close ~audited cg ~mutable_globals in
+  List.filter_map
+    (fun (d : Callgraph.def) ->
+      let effects =
+        List.filter_map
+          (fun kind ->
+            match Hashtbl.find_opt best (d.id, kind_index kind) with
+            | Some e -> Some (kind, e)
+            | None -> None)
+          Effects.all_kinds
+      in
+      if effects = [] then None
+      else Some { sum_def = d; sum_effects = effects })
+    (Callgraph.defs cg)
+
+(* ----- the passes ----- *)
+
+let display_path cg ids =
+  List.map
+    (fun id ->
+      match Callgraph.find cg id with Some d -> d.Callgraph.name | None -> id)
+    ids
+
+let run ~audited (cg : Callgraph.t) =
+  let findings = ref [] in
+  let suppressed = ref [] in
+  let emit ~rule ~severity ~key ~witness (d : Callgraph.def) message =
+    let f =
+      Finding.make ~key ~witness ~rule ~severity ~file:d.Callgraph.def_file
+        ~line:d.def_line ~col:d.def_col ~message ()
+    in
+    match audited ~rule ~file:d.def_file ~line:d.def_line with
+    | Some reason ->
+        suppressed := (f, Option.value ~default:"" reason) :: !suppressed;
+        true
+    | None ->
+        findings := f :: !findings;
+        false
+  in
+  (* domain-safety audit *)
+  let mutable_globals = Hashtbl.create 16 in
+  let flagged_globals = ref [] in
+  List.iter
+    (fun (d : Callgraph.def) ->
+      match classify_toplevel d with
+      | None -> ()
+      | Some (rule, detail) ->
+          Hashtbl.replace mutable_globals d.Callgraph.id ();
+          flagged_globals := (d, rule, detail) :: !flagged_globals)
+    (Callgraph.defs cg);
+  let rev = Callgraph.callers cg in
+  List.iter
+    (fun ((d : Callgraph.def), rule, detail) ->
+      let foreign_units =
+        match Hashtbl.find_opt rev d.id with
+        | None -> []
+        | Some caller_ids ->
+            List.sort_uniq String.compare
+              (List.filter_map
+                 (fun id ->
+                   match Callgraph.find cg id with
+                   | Some c when c.Callgraph.unit_dir <> d.unit_dir
+                               || Callgraph.unit_name c.def_file
+                                  <> Callgraph.unit_name d.def_file ->
+                       Some (Callgraph.unit_name c.Callgraph.def_file)
+                   | _ -> None)
+                 caller_ids)
+      in
+      let crossing =
+        match foreign_units with
+        | [] -> ""
+        | us ->
+            Printf.sprintf " and crosses module boundaries (referenced from %s)"
+              (String.concat ", " us)
+      in
+      let message =
+        if rule = capture_rule then
+          Printf.sprintf
+            "%s is a top-level closure over fresh mutable state (%s)%s; every \
+             domain will share the capture after the multicore refactor — \
+             thread the cache through an explicit handle or suppress with an \
+             audited reason"
+            d.name detail crossing
+        else
+          Printf.sprintf
+            "%s is module-level mutable state (%s)%s; it becomes shared \
+             across domains under Domain-sharded execution — construct it \
+             per-instance or suppress with an audited reason"
+            d.name detail crossing
+      in
+      ignore
+        (emit ~rule ~severity:Finding.Warning ~key:d.name ~witness:[] d message))
+    (List.rev !flagged_globals);
+  (* determinism taint over hot-path units *)
+  let best = close ~audited cg ~mutable_globals in
+  let hot_defs =
+    List.filter
+      (fun (d : Callgraph.def) ->
+        let contains sub s =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        (not (contains "lib/analysis" d.unit_dir))
+        && List.mem (Callgraph.unit_name d.def_file) hot_units)
+      (Callgraph.defs cg)
+  in
+  (* group candidates per (unit, source site, kind); report the shortest
+     witness whose anchor is not suppressed *)
+  let groups : (string, (Callgraph.def * entry) list) Hashtbl.t =
+    Hashtbl.create 32
+  in
+  let group_keys = ref [] in
+  List.iter
+    (fun (d : Callgraph.def) ->
+      List.iter
+        (fun kind ->
+          if Effects.is_nondet kind then
+            match Hashtbl.find_opt best (d.id, kind_index kind) with
+            | None -> ()
+            | Some e ->
+                (* a direct source inside the hot unit is already the
+                   syntactic rule's finding; taint adds value on chains *)
+                if not (e.e_len = 1 && Effects.rule_for kind <> None) then begin
+                  let key =
+                    Printf.sprintf "%s|%s|%s:%d:%d|%d" d.unit_dir
+                      (Callgraph.unit_name d.def_file)
+                      e.e_src.Effects.s_file e.e_src.s_line e.e_src.s_col
+                      (kind_index kind)
+                  in
+                  if not (Hashtbl.mem groups key) then
+                    group_keys := key :: !group_keys;
+                  let cur =
+                    match Hashtbl.find_opt groups key with
+                    | Some l -> l
+                    | None -> []
+                  in
+                  Hashtbl.replace groups key ((d, e) :: cur)
+                end)
+        Effects.all_kinds)
+    hot_defs;
+  List.iter
+    (fun key ->
+      let candidates =
+        List.sort
+          (fun ((a : Callgraph.def), ea) ((b : Callgraph.def), eb) ->
+            let c = Int.compare ea.e_len eb.e_len in
+            if c <> 0 then c else String.compare a.name b.name)
+          (match Hashtbl.find_opt groups key with Some l -> l | None -> [])
+      in
+      let rec report = function
+        | [] -> ()
+        | ((d : Callgraph.def), e) :: rest ->
+            let witness = display_path cg e.e_path in
+            let src = e.e_src in
+            let source_def =
+              match List.rev witness with last :: _ -> last | [] -> d.name
+            in
+            let message =
+              Printf.sprintf
+                "%s transitively reaches %s (%s) via %s (%s:%d); audit the \
+                 source with an allow comment carrying a reason, or cut the \
+                 path"
+                d.name src.Effects.s_detail
+                (kind_phrase src.s_kind)
+                (String.concat " -> " witness)
+                src.s_file src.s_line
+            in
+            let fkey =
+              Printf.sprintf "%s->%s#%s" d.name source_def src.s_detail
+            in
+            let was_suppressed =
+              emit ~rule:determinism_rule ~severity:Finding.Error ~key:fkey
+                ~witness d message
+            in
+            (* a suppressed anchor only audits that one function; other
+               hot-path functions reaching the same source still report *)
+            if was_suppressed then report rest
+        in
+      report candidates)
+    (List.rev !group_keys);
+  {
+    findings = List.sort Finding.compare !findings;
+    suppressed = List.rev !suppressed;
+  }

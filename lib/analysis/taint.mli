@@ -1,0 +1,55 @@
+(** Whole-program passes: interprocedural determinism taint and the
+    domain-safety audit.
+
+    Effect summaries ({!Effects.direct}) are propagated backwards over
+    the call graph to a fixed point, keeping per (function, kind) the
+    best witness — shortest call chain, lexicographic tie-breaks — so
+    reruns are byte-identical.  Two rule families sit on the closure:
+
+    - [determinism-taint] (error): a function in a hot-path unit
+      (Engine, Protocol, Find_cluster — excluding lib/analysis's own
+      engine) transitively reaches a nondeterminism primitive; the
+      finding carries the full witness path.
+    - [domain-unsafe-global] / [domain-unsafe-capture] (warning):
+      module-level mutable state and top-level closures over fresh
+      mutable state — the concrete blocker list for Domain-sharded
+      multicore execution. *)
+
+val determinism_rule : string
+val global_rule : string
+val capture_rule : string
+
+val rules : (string * Finding.severity * string) list
+(** (id, severity, doc) for the catalog and SARIF rule metadata. *)
+
+type audited = rule:string -> file:string -> line:int -> string option option
+(** [None]: no suppression at that site.  [Some reason_opt]: an inline
+    suppression matches ([reason_opt] is its justification, [None] when
+    the comment lacks one).  Implementations must mark the suppression
+    used, so interprocedural-only suppressions are never reported
+    stale. *)
+
+type outcome = {
+  findings : Finding.t list;
+  suppressed : (Finding.t * string) list;
+      (** findings silenced by an audited suppression, with the reason *)
+}
+
+val run : audited:audited -> Callgraph.t -> outcome
+
+(** {2 Effect summaries (for reporting and tests)} *)
+
+type entry = {
+  e_len : int;
+  e_path : string list;  (** def ids, reported def first, source last *)
+  e_src : Effects.source;
+}
+
+type summary = {
+  sum_def : Callgraph.def;
+  sum_effects : (Effects.kind * entry) list;  (** in kind order *)
+}
+
+val summaries : audited:audited -> Callgraph.t -> summary list
+(** The closed per-function effect table, defs sorted by id; defs with
+    no effects are omitted. *)

@@ -159,7 +159,7 @@ let pending t ~round =
      monitored edges; no state, counter or trace output depends on the
      visit order, and sorting every key each round would cost more than
      the scan itself *)
-  (* bwclint: allow no-unordered-hashtbl-iter *)
+  (* bwclint: allow no-unordered-hashtbl-iter -- pure exists-scan (commutative OR); no state or trace depends on visit order *)
   Hashtbl.iter
     (fun _ e -> if round - e.last_heard > t.cfg.heartbeat_every + 1 then p := true)
     t.edges;

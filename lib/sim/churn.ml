@@ -15,7 +15,7 @@ let scripted events =
     events;
   (* stored reversed to keep inserts O(1); flip once into schedule order.
      Order-independent: each bucket is rewritten in isolation. *)
-  (* bwclint: allow no-unordered-hashtbl-iter *)
+  (* bwclint: allow no-unordered-hashtbl-iter -- each round bucket is flipped into schedule order in isolation *)
   Hashtbl.filter_map_inplace (fun _ evs -> Some (List.rev evs)) by_round;
   { by_round }
 

@@ -114,7 +114,7 @@ let set_active t i b =
        they are recorded in bucket-list order within each round bucket
        visited. *)
     let purged = ref [] in
-    (* bwclint: allow no-unordered-hashtbl-iter *)
+    (* bwclint: allow no-unordered-hashtbl-iter -- each round bucket is partitioned in isolation; counter updates are commutative sums *)
     Hashtbl.filter_map_inplace
       (fun due waiting ->
         let keep, drop = List.partition (fun (dst, _, _) -> dst <> i) waiting in

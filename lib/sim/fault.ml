@@ -80,7 +80,7 @@ let make ?metrics ~rng ~drop ~duplicate ~jitter ~partitions ~crashes
    dup system_crashes);
   (* downs before ups within a round, insertion order otherwise.
      Order-independent: each round's bucket is rewritten in isolation. *)
-  (* bwclint: allow no-unordered-hashtbl-iter *)
+  (* bwclint: allow no-unordered-hashtbl-iter -- each round bucket is rewritten in isolation; relative order within a bucket is preserved *)
   Hashtbl.filter_map_inplace
     (fun _ evs ->
       let evs = List.rev evs in

@@ -14,7 +14,7 @@
 let keys t =
   (* The one audited raw traversal: key collection is order-independent
      because the result is sorted (and deduplicated) before use. *)
-  (* bwclint: allow no-unordered-hashtbl-iter *)
+  (* bwclint: allow no-unordered-hashtbl-iter -- key collection is order-independent: the result is sorted and deduplicated before any use *)
   Hashtbl.fold (fun k _ acc -> k :: acc) t []
 
 let sorted_keys ?(cmp = Stdlib.compare) t = List.sort_uniq cmp (keys t)

@@ -1,0 +1,4 @@
+(* CI regression fixture root: reaches Unsafe_helper.drain transitively. *)
+
+let flush t = Unsafe_helper.drain t
+let run_round t = flush t

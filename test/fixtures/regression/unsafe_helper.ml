@@ -1,0 +1,7 @@
+(* CI regression fixture: a helper that quietly introduces an unordered
+   traversal two hops from the engine.  The lint workflow runs bwclint
+   over this directory and asserts it FAILS — proving the taint gate
+   catches a regression that per-file rules alone would only flag at the
+   leaf. *)
+
+let drain t = Hashtbl.fold (fun k _ acc -> k :: acc) t []

@@ -1,0 +1,5 @@
+(* Fixture: hot-path root.  bwclint must report
+   Engine.run_round -> Protocol.resend_pending -> Tbl.unsafe_iter
+   as a determinism-taint error with the full witness path. *)
+
+let run_round t = Protocol.resend_pending t

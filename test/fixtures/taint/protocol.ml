@@ -1,0 +1,4 @@
+(* Fixture: middle hop — no nondeterminism of its own, only what it
+   inherits from Tbl.unsafe_iter. *)
+
+let resend_pending t = Tbl.unsafe_iter t (fun _ _ -> ())

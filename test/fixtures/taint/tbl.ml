@@ -1,0 +1,5 @@
+(* Fixture: the raw-traversal leaf of the seeded taint chain.  This
+   directory is skipped by recursive discovery (dirty corpus); lint it
+   explicitly with `bwclint --taint test/fixtures/taint`. *)
+
+let unsafe_iter t f = Hashtbl.iter f t

@@ -1,5 +1,8 @@
 (* Tests for the bwclint engine: one failing fixture per rule, a clean
-   fixture, suppression semantics, path scoping, and the reporters.
+   fixture, suppression semantics, path scoping, the reporters, and the
+   whole-program layer — call-graph resolution (cross-module, aliases,
+   shadowing), interprocedural taint with witness paths, the
+   domain-safety audit, baseline diffing, and SARIF shape.
 
    Fixture sources are inline strings.  Suppression comments inside
    fixtures are assembled with [sup]/[sup_all] rather than written
@@ -12,8 +15,15 @@ module Engine = Bwc_analysis.Engine
 module Finding = Bwc_analysis.Finding
 module Report = Bwc_analysis.Report
 module Rules = Bwc_analysis.Rules
+module Callgraph = Bwc_analysis.Callgraph
+module Taint = Bwc_analysis.Taint
+module Baseline = Bwc_analysis.Baseline
+module Sarif = Bwc_analysis.Sarif
 
-let sup rule = Printf.sprintf "(* bwclint%s allow %s *)" ":" rule
+let sup ?(reason = "test audit") rule =
+  Printf.sprintf "(* bwclint%s allow %s -- %s *)" ":" rule reason
+
+let sup_bare rule = Printf.sprintf "(* bwclint%s allow %s *)" ":" rule
 let sup_all () = sup "all"
 
 (* default fixture path sits inside lib/core so every path-scoped rule
@@ -27,6 +37,11 @@ let check_single_finding name ?path ~rule src =
   Alcotest.(check (list string))
     name [ rule ]
     (rule_ids (lint ?path src))
+
+let contains sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
 
 (* ----- one failing fixture per rule ----- *)
 
@@ -175,6 +190,28 @@ let test_unused_suppression_reported () =
       Alcotest.(check int) "line" 1 f.Finding.line
   | fs -> Alcotest.failf "expected exactly one finding, got %d" (List.length fs)
 
+let test_suppression_reason_surfaced () =
+  let src =
+    "let f l = List.hd l "
+    ^ sup ~reason:"nonempty by construction" "no-partial-stdlib"
+    ^ "\n"
+  in
+  let r = lint src in
+  Alcotest.(check (list string)) "no findings" [] (rule_ids r);
+  match r.Engine.suppressed with
+  | [ (f, reason) ] ->
+      Alcotest.(check string) "silenced rule" "no-partial-stdlib" f.Finding.rule;
+      Alcotest.(check string) "reason kept" "nonempty by construction" reason
+  | l -> Alcotest.failf "expected one suppressed finding, got %d" (List.length l)
+
+let test_suppression_missing_reason () =
+  (* a used suppression without a reason is itself reported *)
+  let src = "let f l = List.hd l " ^ sup_bare "no-partial-stdlib" ^ "\n" in
+  Alcotest.(check (list string))
+    "missing reason reported"
+    [ Engine.missing_reason_rule ]
+    (rule_ids (lint src))
+
 (* ----- path scoping ----- *)
 
 let test_rule_path_scoping () =
@@ -205,20 +242,381 @@ let test_parse_error () =
   | [ f ] -> Alcotest.(check string) "rule" Engine.parse_error_rule f.Finding.rule
   | _ -> Alcotest.fail "expected exactly one parse-error finding"
 
+(* ----- call graph ----- *)
+
+let build_cg files =
+  Callgraph.build
+    (List.filter_map
+       (fun (path, src) ->
+         match Engine.parse ~path src with
+         | Ok f -> Some (path, f)
+         | Error _ -> None)
+       files)
+
+let callee_names cg name =
+  match Callgraph.find_by_name cg name with
+  | [ d ] ->
+      List.filter_map
+        (fun (c : Callgraph.call) ->
+          Option.map
+            (fun (d : Callgraph.def) -> d.Callgraph.name)
+            (Callgraph.find cg c.Callgraph.callee))
+        d.Callgraph.calls
+  | ds -> Alcotest.failf "expected one def named %s, got %d" name (List.length ds)
+
+let chain_files =
+  [
+    ("lib/x/tbl.ml", "let unsafe_iter t f = Hashtbl.iter f t\n");
+    ( "lib/x/protocol.ml",
+      "let resend_pending t = Tbl.unsafe_iter t (fun _ _ -> ())\n" );
+    ("lib/x/engine.ml", "let run_round t = Protocol.resend_pending t\n");
+  ]
+
+let test_callgraph_cross_module () =
+  let cg = build_cg chain_files in
+  Alcotest.(check (list string))
+    "engine -> protocol"
+    [ "Protocol.resend_pending" ]
+    (callee_names cg "Engine.run_round");
+  Alcotest.(check (list string))
+    "protocol -> tbl" [ "Tbl.unsafe_iter" ]
+    (callee_names cg "Protocol.resend_pending")
+
+let test_callgraph_alias () =
+  let cg =
+    build_cg
+      [
+        ("lib/x/protocol.ml", "let send t = ignore t\n");
+        ( "lib/x/engine.ml",
+          "module P = Protocol\nlet go t = P.send t\n" );
+      ]
+  in
+  Alcotest.(check (list string))
+    "alias expanded" [ "Protocol.send" ]
+    (callee_names cg "Engine.go")
+
+let test_callgraph_shadowing () =
+  let cg =
+    build_cg
+      [
+        ( "lib/x/engine.ml",
+          "let helper x = x + 1\n\
+           let f helper = helper 3\n\
+           let g x = helper x\n" );
+      ]
+  in
+  Alcotest.(check (list string))
+    "param shadows unit fn" [] (callee_names cg "Engine.f");
+  Alcotest.(check (list string))
+    "unshadowed ref resolves" [ "Engine.helper" ]
+    (callee_names cg "Engine.g")
+
+let test_callgraph_wrapped_library () =
+  let cg =
+    build_cg
+      [
+        ("lib/stats/tbl.ml", "let iter_sorted t f = ignore (t, f)\n");
+        ( "lib/sim/engine.ml",
+          "let run t = Bwc_stats.Tbl.iter_sorted t (fun _ -> ())\n" );
+      ]
+  in
+  Alcotest.(check (list string))
+    "bwc_<lib> prefix maps to lib/<dir>"
+    [ "Tbl.iter_sorted" ]
+    (callee_names cg "Engine.run")
+
+let test_callgraph_same_name_units_isolated () =
+  (* two engine.ml units in different directories must not alias *)
+  let cg =
+    build_cg
+      [
+        ("lib/x/helper.ml", "let go () = ()\n");
+        ("lib/x/engine.ml", "let run () = Helper.go ()\n");
+        ("lib/y/engine.ml", "let run () = ()\n");
+      ]
+  in
+  match Callgraph.find_by_name cg "Engine.run" with
+  | [ a; b ] ->
+      Alcotest.(check bool)
+        "distinct dirs" true
+        (a.Callgraph.unit_dir <> b.Callgraph.unit_dir)
+  | ds -> Alcotest.failf "expected two Engine.run defs, got %d" (List.length ds)
+
+(* ----- whole-program taint ----- *)
+
+let taint_findings r =
+  List.filter
+    (fun f -> f.Finding.rule = Taint.determinism_rule)
+    r.Engine.findings
+
+let test_taint_three_hop_witness () =
+  let r = Engine.lint_sources chain_files in
+  (* Engine and Protocol are both hot units, so the same source is
+     reported once per reaching unit *)
+  match
+    List.filter (fun f -> f.Finding.file = "lib/x/engine.ml") (taint_findings r)
+  with
+  | [ f ] ->
+      Alcotest.(check (list string))
+        "witness path"
+        [ "Engine.run_round"; "Protocol.resend_pending"; "Tbl.unsafe_iter" ]
+        f.Finding.witness;
+      Alcotest.(check bool) "symbolic key" true
+        (contains "Engine.run_round" (Finding.stable_key f));
+      Alcotest.(check bool) "message names the source" true
+        (contains "Hashtbl.iter" f.Finding.message)
+  | fs ->
+      Alcotest.failf "expected one Engine-rooted taint finding, got %d"
+        (List.length fs)
+
+let test_taint_interprocedural_only_suppression_not_stale () =
+  (* satellite regression: bench/ is outside no-wall-clock-in-lib's
+     only-paths, so the suppression below is justified purely by the
+     interprocedural pass; it must cut the taint AND not be stale *)
+  let files =
+    [
+      ( "bench/helper.ml",
+        sup ~reason:"bench timing harness" "no-wall-clock-in-lib"
+        ^ "\nlet now () = Unix.gettimeofday ()\n" );
+      ("lib/x/engine.ml", "let run () = Helper.now ()\n");
+    ]
+  in
+  let r = Engine.lint_sources files in
+  Alcotest.(check (list string)) "taint cut, nothing stale" [] (rule_ids r)
+
+let test_taint_root_suppression () =
+  (* suppressing the hot-path anchor silences the finding but keeps the
+     audit trail *)
+  let files =
+    [
+      ("bench/helper.ml", "let now () = Unix.gettimeofday ()\n");
+      ( "lib/x/engine.ml",
+        sup ~reason:"latency probe, not protocol state" "determinism-taint"
+        ^ "\nlet run () = Helper.now ()\n" );
+    ]
+  in
+  let r = Engine.lint_sources files in
+  Alcotest.(check (list string)) "no findings" [] (rule_ids r);
+  match
+    List.filter
+      (fun (f, _) -> f.Finding.rule = Taint.determinism_rule)
+      r.Engine.suppressed
+  with
+  | [ (_, reason) ] ->
+      Alcotest.(check string) "reason" "latency probe, not protocol state"
+        reason
+  | l -> Alcotest.failf "expected one audited taint, got %d" (List.length l)
+
+let test_taint_unsuppressed_without_comment () =
+  let files =
+    [
+      ("bench/helper.ml", "let now () = Unix.gettimeofday ()\n");
+      ("lib/x/engine.ml", "let run () = Helper.now ()\n");
+    ]
+  in
+  let r = Engine.lint_sources files in
+  Alcotest.(check (list string))
+    "taint reported" [ Taint.determinism_rule ] (rule_ids r)
+
+let test_taint_cold_module_not_root () =
+  (* the same chain rooted in a non-hot unit reports nothing *)
+  let files =
+    [
+      ("bench/helper.ml", "let now () = Unix.gettimeofday ()\n");
+      ("lib/x/planner.ml", "let run () = Helper.now ()\n");
+    ]
+  in
+  let r = Engine.lint_sources files in
+  Alcotest.(check (list string)) "cold root, no taint" [] (rule_ids r)
+
+(* ----- domain-safety audit ----- *)
+
+let test_domain_unsafe_global () =
+  let r =
+    Engine.lint_sources
+      [ ("lib/x/state.ml", "let cache = Hashtbl.create 16\n") ]
+  in
+  match r.Engine.findings with
+  | [ f ] ->
+      Alcotest.(check string) "rule" Taint.global_rule f.Finding.rule;
+      Alcotest.(check string) "key is def name" "State.cache"
+        (Finding.stable_key f)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_domain_unsafe_capture () =
+  let r =
+    Engine.lint_sources
+      [
+        ( "lib/x/memo.ml",
+          "let lookup = let t = Hashtbl.create 16 in fun x -> Hashtbl.mem t x\n"
+        );
+      ]
+  in
+  Alcotest.(check (list string))
+    "capture flagged" [ Taint.capture_rule ] (rule_ids r)
+
+let test_domain_safe_shapes () =
+  (* constants, functions and constructor-wrapped creation are fine *)
+  let r =
+    Engine.lint_sources
+      [
+        ( "lib/x/state.ml",
+          "let size = 16\n\
+           let create () = Hashtbl.create 16\n\
+           let names = [ \"a\"; \"b\" ]\n" );
+      ]
+  in
+  Alcotest.(check (list string)) "no findings" [] (rule_ids r)
+
+(* ----- baseline ----- *)
+
+let entry_strings es =
+  List.map
+    (fun (e : Baseline.entry) ->
+      Printf.sprintf "%s|%s|%s" e.Baseline.b_rule e.Baseline.b_file
+        e.Baseline.b_key)
+    es
+
+let mk_finding ?key ~rule ~file ~line () =
+  Finding.make ?key ~rule ~severity:Finding.Warning ~file ~line ~col:0
+    ~message:"m" ()
+
+let test_baseline_roundtrip () =
+  let fs =
+    [
+      mk_finding ~rule:"r1" ~file:"a.ml" ~line:3 ();
+      mk_finding ~key:"Engine.run->Tbl.iter#Hashtbl.iter" ~rule:"r2"
+        ~file:"b.ml" ~line:9 ();
+    ]
+  in
+  let entries = Baseline.of_findings fs in
+  let path = Filename.temp_file "bwclint_test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Baseline.save ~path entries;
+      match Baseline.load ~path with
+      | Error msg -> Alcotest.failf "load failed: %s" msg
+      | Ok loaded ->
+          Alcotest.(check (list string))
+            "round trip" (entry_strings entries) (entry_strings loaded))
+
+let test_baseline_apply () =
+  let old = mk_finding ~rule:"r1" ~file:"a.ml" ~line:3 () in
+  let entries = Baseline.of_findings [ old ] in
+  (* same findings: all matched, nothing fresh or gone *)
+  let d = Baseline.apply entries [ old ] in
+  Alcotest.(check int) "no fresh" 0 (List.length d.Baseline.fresh);
+  Alcotest.(check int) "one matched" 1 (List.length d.Baseline.matched);
+  Alcotest.(check int) "none gone" 0 (List.length d.Baseline.gone);
+  (* a new finding is fresh; the baselined one still matches *)
+  let fresh_f = mk_finding ~rule:"r2" ~file:"c.ml" ~line:1 () in
+  let d = Baseline.apply entries [ old; fresh_f ] in
+  Alcotest.(check (list string))
+    "fresh rule" [ "r2" ]
+    (List.map (fun f -> f.Finding.rule) d.Baseline.fresh);
+  (* the baselined finding disappearing makes the entry stale *)
+  let d = Baseline.apply entries [] in
+  Alcotest.(check (list string))
+    "gone entry" (entry_strings entries) (entry_strings d.Baseline.gone)
+
+let test_baseline_symbolic_key_survives_line_drift () =
+  let key = "Engine.run->Tbl.iter#Hashtbl.iter" in
+  let v1 = mk_finding ~key ~rule:"determinism-taint" ~file:"e.ml" ~line:10 () in
+  let v2 = mk_finding ~key ~rule:"determinism-taint" ~file:"e.ml" ~line:42 () in
+  let entries = Baseline.of_findings [ v1 ] in
+  let d = Baseline.apply entries [ v2 ] in
+  Alcotest.(check int) "still matched" 1 (List.length d.Baseline.matched);
+  Alcotest.(check int) "nothing fresh" 0 (List.length d.Baseline.fresh);
+  (* positional findings do NOT survive drift: the L<line> key changes *)
+  let p1 = mk_finding ~rule:"no-print-in-lib" ~file:"e.ml" ~line:10 () in
+  let p2 = mk_finding ~rule:"no-print-in-lib" ~file:"e.ml" ~line:42 () in
+  let d = Baseline.apply (Baseline.of_findings [ p1 ]) [ p2 ] in
+  Alcotest.(check int) "positional drift is fresh" 1
+    (List.length d.Baseline.fresh);
+  Alcotest.(check int) "and stale" 1 (List.length d.Baseline.gone)
+
+(* ----- SARIF ----- *)
+
+let test_sarif_shape () =
+  let r = Engine.lint_sources chain_files in
+  let doc = Sarif.to_string ~suppressed:r.Engine.suppressed r.Engine.findings in
+  List.iter
+    (fun sub ->
+      Alcotest.(check bool) (Printf.sprintf "contains %s" sub) true
+        (contains sub doc))
+    [
+      "\"$schema\"";
+      "\"version\": \"2.1.0\"";
+      "\"name\": \"bwclint\"";
+      "\"ruleId\": \"determinism-taint\"";
+      "\"codeFlows\"";
+      "Protocol.resend_pending";
+      "\"startLine\"";
+    ]
+
+let test_sarif_suppression_justification () =
+  let files =
+    [
+      ("bench/helper.ml", "let now () = Unix.gettimeofday ()\n");
+      ( "lib/x/engine.ml",
+        sup ~reason:"latency probe" "determinism-taint"
+        ^ "\nlet run () = Helper.now ()\n" );
+    ]
+  in
+  let r = Engine.lint_sources files in
+  let doc = Sarif.to_string ~suppressed:r.Engine.suppressed r.Engine.findings in
+  Alcotest.(check bool) "inSource suppression" true
+    (contains "\"kind\": \"inSource\"" doc);
+  Alcotest.(check bool) "justification" true (contains "latency probe" doc)
+
+(* ----- discovery ----- *)
+
+let test_discover_skips_fixture_dirs () =
+  (* recursive discovery must skip fixtures/ (dirty corpora), while
+     passing the path explicitly still lints it *)
+  let root = Filename.temp_file "bwclint_disc" "" in
+  Sys.remove root;
+  Sys.mkdir root 0o755;
+  let fixtures = Filename.concat root "fixtures" in
+  Sys.mkdir fixtures 0o755;
+  let write p = Out_channel.with_open_text p (fun oc ->
+      Out_channel.output_string oc "let x = 1\n")
+  in
+  let good = Filename.concat root "good.ml" in
+  let bad = Filename.concat fixtures "bad.ml" in
+  write good;
+  write bad;
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove good;
+      Sys.remove bad;
+      Sys.rmdir fixtures;
+      Sys.rmdir root)
+    (fun () ->
+      Alcotest.(check (list string))
+        "fixtures skipped on recursion" [ good ]
+        (Engine.discover [ root ]);
+      Alcotest.(check (list string))
+        "explicit fixture path lints" [ bad ]
+        (Engine.discover [ fixtures ]))
+
 (* ----- reporters ----- *)
 
 let test_json_report () =
   let r = lint "let x = Random.int 5\n" in
   let out = Format.asprintf "%a" Report.json r in
-  let has sub =
-    let n = String.length out and m = String.length sub in
-    let rec go i = i + m <= n && (String.sub out i m = sub || go (i + 1)) in
-    go 0
-  in
+  let has sub = contains sub out in
   Alcotest.(check bool) "rule field" true (has "\"rule\":\"no-stdlib-random\"");
   Alcotest.(check bool) "severity field" true (has "\"severity\":\"error\"");
   Alcotest.(check bool) "file field" true (has "\"file\":\"lib/core/fixture.ml\"");
   Alcotest.(check bool) "errors count" true (has "\"errors\": 1")
+
+let test_json_witness_and_suppressed () =
+  let r = Engine.lint_sources chain_files in
+  let out = Format.asprintf "%a" Report.json r in
+  Alcotest.(check bool) "witness array" true (contains "\"witness\":[" out);
+  Alcotest.(check bool) "suppressed array" true (contains "\"suppressed\"" out)
 
 let test_json_escaping () =
   Alcotest.(check string)
@@ -228,16 +626,22 @@ let test_json_escaping () =
 let test_human_report () =
   let r = lint "let f acc x = acc @ [ x ]\n" in
   let out = Format.asprintf "%a" Report.human r in
-  let has sub =
-    let n = String.length out and m = String.length sub in
-    let rec go i = i + m <= n && (String.sub out i m = sub || go (i + 1)) in
-    go 0
-  in
+  let has sub = contains sub out in
   Alcotest.(check bool) "location prefix" true (has "lib/core/fixture.ml:1:");
   Alcotest.(check bool) "summary line" true (has "1 file scanned: 0 errors, 1 warning")
 
+let test_human_witness_line () =
+  let r = Engine.lint_sources chain_files in
+  let out = Format.asprintf "%a" Report.human r in
+  Alcotest.(check bool) "witness continuation" true
+    (contains
+       "witness: Engine.run_round -> Protocol.resend_pending -> \
+        Tbl.unsafe_iter"
+       out)
+
 let test_rule_catalog_complete () =
-  (* every rule the acceptance criteria names exists in the registry *)
+  (* every syntactic rule the acceptance criteria names exists in the
+     registry, and the catalog output names the whole-program rules *)
   List.iter
     (fun id ->
       match Rules.find id with
@@ -254,6 +658,18 @@ let test_rule_catalog_complete () =
       "naked-failwith";
       "no-obj-magic";
       "no-marshal";
+    ];
+  let out = Format.asprintf "%a" Report.rule_catalog () in
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) (Printf.sprintf "catalog lists %s" id) true
+        (contains id out))
+    [
+      Taint.determinism_rule;
+      Taint.global_rule;
+      Taint.capture_rule;
+      Engine.missing_reason_rule;
+      Engine.unused_suppression_rule;
     ]
 
 let () =
@@ -285,17 +701,70 @@ let () =
           Alcotest.test_case "wrong rule kept" `Quick test_suppression_wrong_rule;
           Alcotest.test_case "allow all" `Quick test_suppression_all;
           Alcotest.test_case "stale reported" `Quick test_unused_suppression_reported;
+          Alcotest.test_case "reason surfaced" `Quick
+            test_suppression_reason_surfaced;
+          Alcotest.test_case "missing reason reported" `Quick
+            test_suppression_missing_reason;
+        ] );
+      ( "callgraph",
+        [
+          Alcotest.test_case "cross-module chain" `Quick
+            test_callgraph_cross_module;
+          Alcotest.test_case "module alias" `Quick test_callgraph_alias;
+          Alcotest.test_case "shadowing" `Quick test_callgraph_shadowing;
+          Alcotest.test_case "wrapped library" `Quick
+            test_callgraph_wrapped_library;
+          Alcotest.test_case "same-name units isolated" `Quick
+            test_callgraph_same_name_units_isolated;
+        ] );
+      ( "taint",
+        [
+          Alcotest.test_case "three-hop witness" `Quick
+            test_taint_three_hop_witness;
+          Alcotest.test_case "interprocedural-only suppression not stale"
+            `Quick test_taint_interprocedural_only_suppression_not_stale;
+          Alcotest.test_case "root suppression audited" `Quick
+            test_taint_root_suppression;
+          Alcotest.test_case "unsuppressed chain reported" `Quick
+            test_taint_unsuppressed_without_comment;
+          Alcotest.test_case "cold module not a root" `Quick
+            test_taint_cold_module_not_root;
+        ] );
+      ( "domain-safety",
+        [
+          Alcotest.test_case "global mutable flagged" `Quick
+            test_domain_unsafe_global;
+          Alcotest.test_case "capture flagged" `Quick test_domain_unsafe_capture;
+          Alcotest.test_case "safe shapes clean" `Quick test_domain_safe_shapes;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_baseline_roundtrip;
+          Alcotest.test_case "apply semantics" `Quick test_baseline_apply;
+          Alcotest.test_case "symbolic key survives drift" `Quick
+            test_baseline_symbolic_key_survives_line_drift;
+        ] );
+      ( "sarif",
+        [
+          Alcotest.test_case "document shape" `Quick test_sarif_shape;
+          Alcotest.test_case "suppression justification" `Quick
+            test_sarif_suppression_justification;
         ] );
       ( "engine",
         [
           Alcotest.test_case "path scoping" `Quick test_rule_path_scoping;
           Alcotest.test_case "mli parsing" `Quick test_mli_parsing;
           Alcotest.test_case "parse error" `Quick test_parse_error;
+          Alcotest.test_case "discovery skips fixtures" `Quick
+            test_discover_skips_fixture_dirs;
         ] );
       ( "reporters",
         [
           Alcotest.test_case "json" `Quick test_json_report;
+          Alcotest.test_case "json witness+suppressed" `Quick
+            test_json_witness_and_suppressed;
           Alcotest.test_case "json escaping" `Quick test_json_escaping;
           Alcotest.test_case "human" `Quick test_human_report;
+          Alcotest.test_case "human witness line" `Quick test_human_witness_line;
         ] );
     ]
