@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-index restart prop examples clean doc lint lint-json lint-baseline lint-sarif trace metrics
+.PHONY: all build test bench bench-full bench-index bench-trace restart prop examples clean doc lint lint-json lint-baseline lint-sarif trace metrics analyze trace-analytics
 
 all: build
 
@@ -39,6 +39,15 @@ trace:
 metrics:
 	dune exec bin/bwcluster.exe -- metrics
 
+# causal analytics over the default recovery scenario: happens-before
+# critical path + byte attribution; E16 gates on per-kind sends summing
+# exactly to the engine counter (exit 3 on violation)
+analyze:
+	dune exec bin/bwcluster.exe -- analyze
+
+trace-analytics:
+	dune exec bin/bwcluster.exe -- trace-analytics
+
 bench:
 	dune exec bench/main.exe
 
@@ -49,6 +58,11 @@ bench-full:
 # any incremental-vs-rebuild divergence
 bench-index:
 	dune exec bench/main.exe -- --index-only
+
+# E16 only: trace-sink overhead arms (off / ring / unbounded), emit
+# BENCH_trace_overhead.json, fail if tracing perturbs the send counter
+bench-trace:
+	dune exec bench/main.exe -- --trace-only
 
 # E15: snapshot round trip (byte-identity checked with cmp) plus the
 # warm-vs-cold restart experiment with its acceptance gate (exit 3)

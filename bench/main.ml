@@ -159,6 +159,116 @@ let index_churn () =
     exit 1
   end
 
+(* Cost of structured tracing on the hot path: the same seeded
+   aggregation + query workload with the sink disabled, bounded to a
+   ring, and unbounded.  Tracing must never perturb the protocol, so the
+   engine send counter is asserted identical across arms before any
+   timing is reported. *)
+let trace_overhead () =
+  section "Trace overhead: sink off vs bounded ring vs unbounded  [E16]";
+  let ds =
+    let base = hp_dataset ~seed:11 in
+    let want = if full then Dataset.size base else 64 in
+    if want < Dataset.size base then
+      Dataset.random_subset base ~rng:(Rng.create 64) want
+    else base
+  in
+  let n = Dataset.size ds in
+  let queries = if full then 400 else 120 in
+  let repeats = if full then 5 else 3 in
+  let capacity = 1024 in
+  let lo, hi = Bwc_experiments.Workload.bandwidth_range ds in
+  let classes = Bwc_core.Classes.of_percentiles ~count:5 ds in
+  let space = Dataset.metric ds in
+  let run_arm trace =
+    let ens = Bwc_predtree.Ensemble.build ~rng:(Rng.create 21) space in
+    let p =
+      Bwc_core.Protocol.create ~rng:(Rng.create 22) ~n_cut:4 ?trace ~classes ens
+    in
+    let (_ : int) = Bwc_core.Protocol.run_aggregation p in
+    let qrng = Rng.create 23 in
+    for _ = 1 to queries do
+      ignore
+        (Bwc_core.Protocol.query_bandwidth p ~at:(Rng.int qrng n)
+           ~k:(2 + Rng.int qrng 6) ~b:(Rng.uniform qrng lo hi))
+    done;
+    Bwc_core.Protocol.messages_sent p
+  in
+  let time_arm mk =
+    (* fresh sink per repeat so ring/unbounded arms never amortize
+       allocation across repeats; best-of-N damps scheduler noise *)
+    let best = ref Float.infinity and sum = ref 0.0 in
+    let sends = ref 0 and emitted = ref 0 and retained = ref 0 in
+    for _ = 1 to repeats do
+      let trace = mk () in
+      let t0 = Unix.gettimeofday () in
+      sends := run_arm trace;
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      sum := !sum +. dt;
+      match trace with
+      | None -> ()
+      | Some t ->
+          emitted := Bwc_obs.Trace.emitted t;
+          retained := List.length (Bwc_obs.Trace.events t)
+    done;
+    (!best, !sum /. float_of_int repeats, !sends, !emitted, !retained)
+  in
+  let arms =
+    [
+      ("off", fun () -> None);
+      ("ring", fun () -> Some (Bwc_obs.Trace.create ~capacity ()));
+      ("unbounded", fun () -> Some (Bwc_obs.Trace.create ()));
+    ]
+  in
+  let rows = List.map (fun (name, mk) -> (name, time_arm mk)) arms in
+  let base_best, _, base_sends, _, _ = List.assoc "off" rows in
+  List.iter
+    (fun (name, (_, _, sends, _, _)) ->
+      if sends <> base_sends then begin
+        Format.eprintf
+          "E16: tracing perturbed the protocol (%s arm sent %d messages, off arm %d)@."
+          name sends base_sends;
+        exit 1
+      end)
+    rows;
+  let overhead_pct best =
+    if base_best <= 0.0 then 0.0 else 100.0 *. (best -. base_best) /. base_best
+  in
+  Bwc_experiments.Report.table
+    ~title:
+      (Printf.sprintf
+         "trace sink overhead -- %s n=%d, %d queries, best of %d" ds.Dataset.name
+         n queries repeats)
+    ~headers:[ "sink"; "best"; "mean"; "overhead"; "events"; "retained" ]
+    (List.map
+       (fun (name, (best, mean, _, emitted, retained)) ->
+         [
+           name;
+           Printf.sprintf "%.1f ms" (best *. 1e3);
+           Printf.sprintf "%.1f ms" (mean *. 1e3);
+           Printf.sprintf "%+.1f%%" (overhead_pct best);
+           string_of_int emitted;
+           string_of_int retained;
+         ])
+       rows);
+  let oc = open_out "BENCH_trace_overhead.json" in
+  let arm_json (name, (best, mean, sends, emitted, retained)) =
+    Printf.sprintf
+      "    {\"sink\": \"%s\", \"best_s\": %.6f, \"mean_s\": %.6f, \
+       \"overhead_pct\": %.2f, \"engine_sends\": %d, \"events_emitted\": %d, \
+       \"events_retained\": %d}"
+      name best mean (overhead_pct best) sends emitted retained
+  in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"trace_overhead\",\n  \"dataset\": \"%s\",\n  \"hosts\": \
+     %d,\n  \"queries\": %d,\n  \"repeats\": %d,\n  \"ring_capacity\": %d,\n  \
+     \"arms\": [\n%s\n  ]\n}\n"
+    ds.Dataset.name n queries repeats capacity
+    (String.concat ",\n" (List.map arm_json rows));
+  close_out oc;
+  Format.printf "trace overhead written to BENCH_trace_overhead.json@."
+
 (* ----- Bechamel micro-benchmarks ----- *)
 
 open Bechamel
@@ -257,7 +367,8 @@ let run_micro () =
    is the one place wall time belongs). *)
 let spans =
   List.map Bwc_obs.Span.create
-    [ "fig3"; "fig4"; "fig5"; "fig6"; "ablations"; "restart"; "index-churn"; "micro" ]
+    [ "fig3"; "fig4"; "fig5"; "fig6"; "ablations"; "restart"; "index-churn";
+      "trace-overhead"; "micro" ]
 
 let timed name f =
   let span = List.find (fun s -> Bwc_obs.Span.name s = name) spans in
@@ -265,14 +376,17 @@ let timed name f =
 
 (* `bench/main.exe -- --index-only` runs just the E14 churn sweep (the CI
    bench smoke job wants BENCH_index.json without paying for the full
-   harness) *)
+   harness); `--trace-only` likewise runs just the E16 trace-overhead
+   arms and emits BENCH_trace_overhead.json *)
 let index_only = Array.exists (String.equal "--index-only") Sys.argv
+let trace_only = Array.exists (String.equal "--trace-only") Sys.argv
+let fast_path = index_only || trace_only
 
 let () =
   let t0 = Unix.gettimeofday () in
   Format.printf "bwcluster benchmark harness (%s scale)@."
     (if full then "paper" else "bench");
-  if not index_only then begin
+  if not fast_path then begin
     timed "fig3" fig3;
     timed "fig4" fig4;
     timed "fig5" fig5;
@@ -280,8 +394,9 @@ let () =
     timed "ablations" ablations;
     timed "restart" restart
   end;
-  timed "index-churn" index_churn;
-  if not index_only then timed "micro" run_micro;
+  if not trace_only then timed "index-churn" index_churn;
+  if not index_only then timed "trace-overhead" trace_overhead;
+  if not fast_path then timed "micro" run_micro;
   section "Phase profile (wall clock)";
   List.iter (fun s -> Format.printf "%a@." Bwc_obs.Span.pp s) spans;
   Format.printf "@.total wall time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -771,6 +771,141 @@ let metrics_cmd =
       $ duplicate_arg $ jitter_arg $ queries_arg $ json
       $ out_arg "Write the report to $(docv) instead of stdout.")
 
+(* ----- causal trace analytics ----- *)
+
+let analyze seed dataset hosts input json output =
+  let events =
+    match input with
+    | Some path ->
+        let contents =
+          try
+            let ic = open_in_bin path in
+            Fun.protect
+              ~finally:(fun () -> close_in_noerr ic)
+              (fun () -> really_input_string ic (in_channel_length ic))
+          with Sys_error msg ->
+            Format.eprintf "bwcluster: cannot read %s: %s@." path msg;
+            exit Cmdliner.Cmd.Exit.cli_error
+        in
+        (match Bwc_obs.Trace.of_jsonl contents with
+        | Ok evs -> evs
+        | Error msg ->
+            Format.eprintf "bwcluster: %s: %s@." path msg;
+            exit Cmdliner.Cmd.Exit.cli_error)
+    | None ->
+        (* default scenario: the seeded E13-style crash-recovery run *)
+        let ds = load_dataset ~seed dataset in
+        let ds =
+          match hosts with
+          | Some h when h < Bwc_dataset.Dataset.size ds ->
+              Bwc_dataset.Dataset.random_subset ds
+                ~rng:(Bwc_stats.Rng.create seed) h
+          | _ -> ds
+        in
+        fst (Bwc_experiments.Trace_analytics.recovery_events ~seed ds)
+  in
+  let report = Bwc_obs.Causal.analyze events in
+  let contents =
+    if json then Bwc_obs.Causal.to_json report ^ "\n"
+    else Bwc_obs.Causal.to_text report
+  in
+  write_or_print output contents
+
+let analyze_cmd =
+  let doc =
+    "Reconstruct happens-before over a structured trace and report the \
+     convergence critical path (the witness chain of messages convergence \
+     actually waited for), per-kind byte attribution, busiest links and a \
+     round waterfall.  Without $(b,--input), runs the seeded crash-recovery \
+     scenario (detector + crashes) and analyzes its own trace; identical \
+     arguments produce byte-identical reports."
+  in
+  let input =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "i"; "input" ] ~docv:"FILE"
+          ~doc:"Analyze an existing JSONL trace instead of running a scenario.")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON.")
+  in
+  Cmd.v (Cmd.info "analyze" ~doc)
+    Term.(
+      const analyze $ seed_arg $ dataset_arg $ hosts_arg $ input $ json
+      $ out_arg "Write the report to $(docv) instead of stdout.")
+
+let trace_diff left right =
+  let result =
+    try Bwc_obs.Trace_diff.diff_files left right
+    with Sys_error msg ->
+      Format.eprintf "bwcluster: %s@." msg;
+      exit Cmdliner.Cmd.Exit.cli_error
+  in
+  print_string
+    (Bwc_obs.Trace_diff.to_string ~left_name:left ~right_name:right result);
+  match result with
+  | Bwc_obs.Trace_diff.Identical -> ()
+  | Bwc_obs.Trace_diff.Diverges _ -> exit exit_gate
+
+let trace_diff_cmd =
+  let doc =
+    "Compare two JSONL traces line by line and report the first divergence.  \
+     Exits 0 when byte-identical, 3 with the divergent line quoted from both \
+     sides otherwise -- the dynamic end of the determinism contract."
+  in
+  let file n doc = Arg.(required & pos n (some string) None & info [] ~docv:"FILE" ~doc) in
+  Cmd.v (Cmd.info "trace-diff" ~doc)
+    Term.(
+      const trace_diff
+      $ file 0 "Left trace (JSONL)."
+      $ file 1 "Right trace (JSONL).")
+
+let trace_analytics seed dataset hosts kinds_csv csv =
+  let ds = load_dataset ~seed dataset in
+  let ds =
+    match hosts with
+    | Some h when h < Bwc_dataset.Dataset.size ds ->
+        Bwc_dataset.Dataset.random_subset ds ~rng:(Bwc_stats.Rng.create seed) h
+    | _ -> ds
+  in
+  let out = Bwc_experiments.Trace_analytics.run ~seed ds in
+  Bwc_experiments.Trace_analytics.print out;
+  maybe_csv csv Bwc_experiments.Trace_analytics.save_csv out;
+  maybe_csv kinds_csv Bwc_experiments.Trace_analytics.save_kinds_csv out;
+  if
+    not
+      (List.for_all
+         (fun r -> r.Bwc_experiments.Trace_analytics.send_sum_matches)
+         out.Bwc_experiments.Trace_analytics.rows)
+  then begin
+    Format.printf
+      "GATE FAILED: per-kind send attribution does not sum to the engine \
+       counter@.";
+    exit exit_gate
+  end
+
+let trace_analytics_cmd =
+  let doc =
+    "E16: causal trace analytics over the standard fault scenarios (clean, \
+     faulty, crash-recovery).  Reports the fraction of convergence rounds \
+     explained by the critical path and the per-kind byte budget, and gates \
+     on the exact-sum invariant (non-query attribution = engine send \
+     counter)."
+  in
+  let kinds_csv =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "kinds-csv" ] ~docv:"FILE"
+          ~doc:"Also write the per-(scenario, kind) attribution table as CSV.")
+  in
+  Cmd.v
+    (Cmd.info "trace-analytics" ~doc)
+    Term.(
+      const trace_analytics $ seed_arg $ dataset_arg $ hosts_arg $ kinds_csv
+      $ csv_arg)
+
 let main_cmd =
   let doc = "Bandwidth-constrained cluster search (ICDCS 2011 reproduction)." in
   Cmd.group
@@ -792,6 +927,9 @@ let main_cmd =
       dynamic_cmd;
       trace_cmd;
       metrics_cmd;
+      analyze_cmd;
+      trace_diff_cmd;
+      trace_analytics_cmd;
       gen_cmd;
       export_tree_cmd;
       inspect_cmd;

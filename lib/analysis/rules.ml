@@ -414,6 +414,79 @@ let no_wall_clock_in_lib =
          profiling or clock by simulation rounds")
     wall_clock_idents
 
+(* ----- observability rules ----- *)
+
+let no_unlabelled_send =
+  let trace_event_name lid =
+    match List.rev (Ast_scan.normalize (Ast_scan.flatten_longident lid)) with
+    | (("Send" | "Deliver") as ctor) :: "Trace" :: _ -> Some ctor
+    | _ -> None
+  in
+  let rec rule =
+    {
+      id = "no-unlabelled-send";
+      severity = Finding.Error;
+      doc =
+        "Every Trace.Send/Trace.Deliver event constructed in lib/ must carry \
+         an explicit message `kind` and `bytes` size — attribution \
+         (bwcluster analyze, E16) silently loses traffic otherwise.  Sites \
+         that build the event from a variable rather than a record literal \
+         are flagged conservatively.";
+      only_paths = [ "lib/" ];
+      allow_paths = [];
+      check =
+        (fun ~path:_ file ->
+          let acc = ref [] in
+          Ast_scan.scan_exprs file ~f:(fun ~rec_depth:_ e ->
+              match e.pexp_desc with
+              | Pexp_construct ({ txt; _ }, arg) -> (
+                  match trace_event_name txt with
+                  | None -> ()
+                  | Some ctor -> (
+                      match arg with
+                      | Some { pexp_desc = Pexp_record (fields, _); _ } ->
+                          let labels =
+                            List.filter_map
+                              (fun ((lid : _ Location.loc), _) ->
+                                match
+                                  List.rev
+                                    (Ast_scan.flatten_longident lid.txt)
+                                with
+                                | last :: _ -> Some last
+                                | [] -> None)
+                              fields
+                          in
+                          let missing =
+                            List.filter
+                              (fun l -> not (List.mem l labels))
+                              [ "kind"; "bytes" ]
+                          in
+                          if missing <> [] then
+                            acc :=
+                              finding rule e
+                                (Printf.sprintf
+                                   "Trace.%s constructed without %s; every \
+                                    send/deliver event must be attributable \
+                                    by payload kind and size"
+                                   ctor
+                                   (String.concat " and " missing))
+                              :: !acc
+                      | _ ->
+                          acc :=
+                            finding rule e
+                              (Printf.sprintf
+                                 "Trace.%s built from a variable, not a \
+                                  record literal; construct the event with \
+                                  explicit kind and bytes so attribution \
+                                  stays auditable"
+                                 ctor)
+                            :: !acc))
+              | _ -> ());
+          !acc);
+    }
+  in
+  rule
+
 let all =
   [
     no_stdlib_random;
@@ -423,6 +496,7 @@ let all =
     no_quadratic_append;
     no_print_in_lib;
     no_wall_clock_in_lib;
+    no_unlabelled_send;
     naked_failwith;
     no_obj_magic;
     no_marshal;

@@ -50,6 +50,10 @@ type node = {
   link_epoch : (int, int) Hashtbl.t;                (* neighbor -> link repair epoch *)
   last_sent : (int, int) Hashtbl.t;                 (* neighbor -> round of last send *)
   mutable dirty : bool;
+  (* what flavour of traffic the next dirty flush is: Aggregate in steady
+     state, escalated to Invalidate/Repair by self-healing so trace
+     attribution can split the byte budget by cause *)
+  mutable dirty_kind : Trace.msg_kind;
 }
 
 type t = {
@@ -100,6 +104,7 @@ let fresh_node fw classes host =
     link_epoch = Hashtbl.create 8;
     last_sent = Hashtbl.create 8;
     dirty = true;
+    dirty_kind = Trace.Aggregate;
   }
 
 let node_slots fw classes =
@@ -195,11 +200,48 @@ let emit t ev = match t.trace with Some tr -> Trace.emit tr ev | None -> ()
 let link_epoch_of node h =
   Option.value ~default:0 (Hashtbl.find_opt node.link_epoch h)
 
+(* ----- traffic labelling (trace attribution) -----
+
+   Estimated wire sizes, a deterministic function of the message alone:
+   8 bytes per scalar (host ids, CRT entries, epoch/seq), 24 per label
+   entry (host + two geometry floats), 24 of framing on updates/acks.
+   The absolute scale is nominal; what the analyzer cares about is the
+   relative split across kinds. *)
+
+let heartbeat_bytes = 8
+let ack_bytes = 24
+let query_hop_bytes = 16
+
+let info_bytes (i : Node_info.t) =
+  Array.fold_left (fun acc l -> acc + (24 * Array.length l)) 8 i.Node_info.labels
+
+let payload_bytes p =
+  List.fold_left
+    (fun acc i -> acc + info_bytes i)
+    (8 * Array.length p.prop_crt)
+    p.prop_node
+
+let message_bytes = function
+  | Heartbeat -> heartbeat_bytes
+  | Ack _ -> ack_bytes
+  | Update { payload; _ } -> 24 + payload_bytes payload
+
+(* dirty-kind escalation: self-healing outranks steady-state aggregation
+   (Repair > Invalidate > Aggregate); point kinds never travel here *)
+let kind_rank = function
+  | Trace.Repair -> 2
+  | Trace.Invalidate -> 1
+  | Trace.Aggregate | Trace.Heartbeat | Trace.Ack | Trace.Retransmit | Trace.Query -> 0
+
+let mark_dirty node kind =
+  node.dirty <- true;
+  if kind_rank kind > kind_rank node.dirty_kind then node.dirty_kind <- kind
+
 (* every protocol send renews the sender-side idle clock that gates
    heartbeats, so heartbeats only fill genuinely silent gaps *)
-let send_msg t node ~dst msg =
+let send_msg t node ~kind ~dst msg =
   Hashtbl.replace node.last_sent dst (Engine.round t.engine);
-  Engine.send t.engine ~src:node.id ~dst msg
+  Engine.send t.engine ~src:node.id ~dst ~kind ~bytes:(message_bytes msg) msg
 
 (* ----- local state recomputation (Algorithm 3, lines 3-8) ----- *)
 
@@ -303,7 +345,8 @@ let send_updates t node =
           end
           else if entry.acked then t.unacked <- t.unacked + 1;
           entry.acked <- false;
-          send_msg t node ~dst:h (Update { epoch = le; seq = entry.seq; payload })
+          send_msg t node ~kind:node.dirty_kind ~dst:h
+            (Update { epoch = le; seq = entry.seq; payload })
       | None ->
           Hashtbl.replace node.out h
             {
@@ -316,7 +359,8 @@ let send_updates t node =
               gave_up = false;
             };
           t.unacked <- t.unacked + 1;
-          send_msg t node ~dst:h (Update { epoch = le; seq = 0; payload }))
+          send_msg t node ~kind:node.dirty_kind ~dst:h
+            (Update { epoch = le; seq = 0; payload }))
     node.neighbors
 
 (* Timeout-based retransmission: an unacked update is re-sent verbatim
@@ -347,7 +391,7 @@ let resend_pending t node =
           entry.sent_round <- now;
           Registry.Counter.incr t.c_retransmissions;
           emit t (Trace.Retransmit { round = now; src = node.id; dst = h });
-          send_msg t node ~dst:h
+          send_msg t node ~kind:Trace.Retransmit ~dst:h
             (Update { epoch = entry.epoch; seq = entry.seq; payload = entry.payload })
         end)
     node.out
@@ -378,7 +422,7 @@ let send_heartbeats t node =
           in
           if now - last >= hb then begin
             Registry.Counter.incr t.c_heartbeats;
-            send_msg t node ~dst:h Heartbeat
+            send_msg t node ~kind:Trace.Heartbeat ~dst:h Heartbeat
           end)
         node.neighbors
 
@@ -412,7 +456,7 @@ let apply_update t node ~src ~epoch ~seq payload =
       if seq < seen then begin
         (* out-of-order copy superseded by something already applied *)
         Registry.Counter.incr t.c_stale_discarded;
-        send_msg t node ~dst:src (Ack { epoch; seq = seen });
+        send_msg t node ~kind:Trace.Ack ~dst:src (Ack { epoch; seq = seen });
         false
       end
       else if seq = seen then begin
@@ -428,12 +472,12 @@ let apply_update t node ~src ~epoch ~seq payload =
           match Hashtbl.find_opt node.aggr_crt src with
           | Some prev -> prev = payload.prop_crt
           | None -> false);
-        send_msg t node ~dst:src (Ack { epoch; seq = seen });
+        send_msg t node ~kind:Trace.Ack ~dst:src (Ack { epoch; seq = seen });
         false
       end
       else begin
         Hashtbl.replace node.seen_seq src seq;
-        send_msg t node ~dst:src (Ack { epoch; seq });
+        send_msg t node ~kind:Trace.Ack ~dst:src (Ack { epoch; seq });
         let node_diff =
           match Hashtbl.find_opt node.aggr_node src with
           | Some prev -> List.compare Node_info.compare_host prev payload.prop_node <> 0
@@ -481,6 +525,7 @@ let step t id inbox =
     recompute_own_row t node;
     send_updates t node;
     node.dirty <- false;
+    node.dirty_kind <- Trace.Aggregate;
     t.step_changed <- true
   end;
   resend_pending t node;
@@ -493,7 +538,9 @@ let step t id inbox =
    columns; marking the root path dirty forces them to recompute and
    repropagate instead of waiting for the decrease to trickle up *)
 let rec mark_root_path t x =
-  (match t.nodes.(x) with Some node -> node.dirty <- true | None -> ());
+  (match t.nodes.(x) with
+  | Some node -> mark_dirty node Trace.Repair
+  | None -> ());
   match Anchor.parent (Framework.anchor (Ensemble.primary t.fw)) x with
   | Some p -> mark_root_path t p
   | None -> ()
@@ -517,7 +564,7 @@ let relink t ~round a b =
         Hashtbl.remove node.last_sent y;
         Hashtbl.replace node.link_epoch y t.epoch;
         node.neighbors <- neighbor_infos t.fw x;
-        node.dirty <- true;
+        mark_dirty node Trace.Repair;
         (match t.detector with
         | Some d -> Detector.watch d ~watcher:x ~peer:y ~round
         | None -> ())
@@ -566,7 +613,7 @@ let repair_one t dead_h =
               Hashtbl.remove node.link_epoch dead_h;
               Hashtbl.remove node.last_sent dead_h;
               node.neighbors <- neighbor_infos t.fw x;
-              node.dirty <- true)
+              mark_dirty node Trace.Invalidate)
         old_nbrs;
       List.iter
         (fun (c, p) ->
@@ -729,7 +776,10 @@ let query ?(policy = `Best_crt) ?hop_budget ?(retries = 2) t ~at ~k ~cls =
       in
       match first_reachable x (List.map fst (detour t x ordered)) with
       | Some next ->
-          emit t (Trace.Query_hop { round; src = x; dst = next });
+          emit t
+            (Trace.Query_hop
+               { round; msg = Engine.fresh_msg_id t.engine;
+                 bytes = query_hop_bytes; src = x; dst = next });
           go next ~from:(Some x) ~path:(next :: path) ~budget:(budget - 1)
       | None -> result None ~path
     end

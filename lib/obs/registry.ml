@@ -198,6 +198,38 @@ let sum_by_name snap name =
     (fun acc (n, _, s) -> if n = name then acc + scalar s else acc)
     0 snap
 
+(* ----- quantile estimation -----
+
+   The log2 buckets already carry the data; the estimate walks the
+   cumulative counts to the bucket covering the requested rank and
+   interpolates linearly inside its bounds.  Integer arithmetic only
+   (rank = ceil(pct * count / 100)), so renderings stay byte-stable. *)
+
+let hist_quantile ~count ~max_value ~buckets ~pct =
+  if pct < 0 || pct > 100 then invalid_arg "Registry.quantile: pct not in [0,100]";
+  if count = 0 then 0
+  else begin
+    let rank = Stdlib.max 1 (((pct * count) + 99) / 100) in
+    let rec go cum = function
+      | [] -> max_value
+      | (i, c) :: rest ->
+          if cum + c >= rank then begin
+            let lo, hi = Histogram.bucket_bounds i in
+            let p = rank - cum in
+            let v = if c <= 1 then hi else lo + ((hi - lo) * (p - 1) / (c - 1)) in
+            Stdlib.min v max_value
+          end
+          else go (cum + c) rest
+    in
+    go 0 buckets
+  end
+
+let quantile s ~pct =
+  match s with
+  | Counter _ | Gauge _ -> None
+  | Histogram { count; max_value; buckets; _ } ->
+      Some (hist_quantile ~count ~max_value ~buckets ~pct)
+
 (* ----- text rendering ----- *)
 
 let pp_labels ppf = function
@@ -210,7 +242,11 @@ let pp_sample ppf = function
   | Counter v -> Format.fprintf ppf "%d" v
   | Gauge v -> Format.fprintf ppf "%d gauge" v
   | Histogram h ->
-      Format.fprintf ppf "histogram count=%d sum=%d max=%d" h.count h.sum h.max_value;
+      let q pct =
+        hist_quantile ~count:h.count ~max_value:h.max_value ~buckets:h.buckets ~pct
+      in
+      Format.fprintf ppf "histogram count=%d sum=%d max=%d p50=%d p90=%d p99=%d"
+        h.count h.sum h.max_value (q 50) (q 90) (q 99);
       if h.buckets <> [] then begin
         let bucket (i, c) =
           let lo, hi = Histogram.bucket_bounds i in
@@ -258,9 +294,13 @@ let json_of_entry buf (name, labels, s) =
   | Counter v -> Buffer.add_string buf (Printf.sprintf "\"type\":\"counter\",\"value\":%d" v)
   | Gauge v -> Buffer.add_string buf (Printf.sprintf "\"type\":\"gauge\",\"value\":%d" v)
   | Histogram h ->
+      let q pct =
+        hist_quantile ~count:h.count ~max_value:h.max_value ~buckets:h.buckets ~pct
+      in
       Buffer.add_string buf
-        (Printf.sprintf "\"type\":\"histogram\",\"count\":%d,\"sum\":%d,\"max\":%d,\"buckets\":["
-           h.count h.sum h.max_value);
+        (Printf.sprintf
+           "\"type\":\"histogram\",\"count\":%d,\"sum\":%d,\"max\":%d,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"buckets\":["
+           h.count h.sum h.max_value (q 50) (q 90) (q 99));
       List.iteri
         (fun i (b, c) ->
           if i > 0 then Buffer.add_char buf ',';

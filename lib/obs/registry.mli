@@ -101,11 +101,21 @@ val sum_by_name : snapshot -> string -> int
 (** Sum of {!get} over every label set registered under [name] — e.g.
     total [predtree.measurements] across [tree=i] labels. *)
 
+val quantile : sample -> pct:int -> int option
+(** [quantile s ~pct] estimates the [pct]-th percentile of a
+    {!Histogram} sample from its log2 buckets: the covering bucket is
+    found by cumulative rank (ceil(pct*count/100)) and interpolated
+    linearly inside its bounds, clamped to the observed max.  Integer
+    arithmetic only, so the estimate is byte-stable across runs.
+    [None] on counters/gauges; 0 on an empty histogram.  Raises when
+    [pct] is outside [0, 100].  The text and JSON renderings surface
+    p50/p90/p99 computed this way. *)
+
 (** {2 Rendering} *)
 
 val pp_text : Format.formatter -> snapshot -> unit
 (** One metric per line, [name{k=v} value]; histograms show
-    count/sum/max and non-empty bucket ranges. *)
+    count/sum/max, derived p50/p90/p99 and non-empty bucket ranges. *)
 
 val to_text : snapshot -> string
 

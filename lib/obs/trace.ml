@@ -2,19 +2,78 @@
 
    Events carry the simulation round, never wall time: the JSONL
    rendering of a run is a pure function of its seeds, which is what
-   lets tests diff whole traces byte-for-byte. *)
+   lets tests diff whole traces byte-for-byte.
+
+   Schema v2: message events additionally carry a per-run monotone
+   message id, a payload kind, an estimated wire size in bytes, and a
+   Lamport stamp, so the happens-before DAG of a run is reconstructible
+   from its trace alone (see Causal). *)
 
 type drop_cause = Fault_loss | Partition | Dead_dst | Purge
 
+type msg_kind =
+  | Heartbeat
+  | Aggregate
+  | Invalidate
+  | Ack
+  | Retransmit
+  | Query
+  | Repair
+
+let kind_to_string = function
+  | Heartbeat -> "heartbeat"
+  | Aggregate -> "aggregate"
+  | Invalidate -> "invalidate"
+  | Ack -> "ack"
+  | Retransmit -> "retransmit"
+  | Query -> "query"
+  | Repair -> "repair"
+
+let kind_of_string = function
+  | "heartbeat" -> Some Heartbeat
+  | "aggregate" -> Some Aggregate
+  | "invalidate" -> Some Invalidate
+  | "ack" -> Some Ack
+  | "retransmit" -> Some Retransmit
+  | "query" -> Some Query
+  | "repair" -> Some Repair
+  | _ -> None
+
+let all_kinds = [ Heartbeat; Aggregate; Invalidate; Ack; Retransmit; Query; Repair ]
+
 type event =
   | Round_start of { round : int }
-  | Send of { round : int; src : int; dst : int }
-  | Deliver of { round : int; src : int; dst : int }
-  | Drop of { round : int; src : int; dst : int; cause : drop_cause }
+  | Send of {
+      round : int;
+      msg : int;
+      kind : msg_kind;
+      bytes : int;
+      lc : int;
+      src : int;
+      dst : int;
+    }
+  | Deliver of {
+      round : int;
+      msg : int;
+      kind : msg_kind;
+      bytes : int;
+      lc : int;
+      src : int;
+      dst : int;
+    }
+  | Drop of {
+      round : int;
+      msg : int;
+      kind : msg_kind;
+      bytes : int;
+      src : int;
+      dst : int;
+      cause : drop_cause;
+    }
   | Retransmit of { round : int; src : int; dst : int }
   | Crash of { round : int; node : int }
   | Restart of { round : int; node : int }
-  | Query_hop of { round : int; src : int; dst : int }
+  | Query_hop of { round : int; msg : int; bytes : int; src : int; dst : int }
   | Suspect of { round : int; by : int; node : int }
   | Confirm_dead of { round : int; by : int; node : int }
   | Regraft of { round : int; node : int; new_parent : int }
@@ -52,15 +111,27 @@ let cause_to_string = function
   | Dead_dst -> "dead_dst"
   | Purge -> "purge"
 
+let cause_of_string = function
+  | "fault_loss" -> Some Fault_loss
+  | "partition" -> Some Partition
+  | "dead_dst" -> Some Dead_dst
+  | "purge" -> Some Purge
+  | _ -> None
+
 let event_to_json = function
   | Round_start { round } -> Printf.sprintf "{\"ev\":\"round_start\",\"round\":%d}" round
-  | Send { round; src; dst } ->
-      Printf.sprintf "{\"ev\":\"send\",\"round\":%d,\"src\":%d,\"dst\":%d}" round src dst
-  | Deliver { round; src; dst } ->
-      Printf.sprintf "{\"ev\":\"deliver\",\"round\":%d,\"src\":%d,\"dst\":%d}" round src dst
-  | Drop { round; src; dst; cause } ->
-      Printf.sprintf "{\"ev\":\"drop\",\"round\":%d,\"src\":%d,\"dst\":%d,\"cause\":\"%s\"}"
-        round src dst (cause_to_string cause)
+  | Send { round; msg; kind; bytes; lc; src; dst } ->
+      Printf.sprintf
+        "{\"ev\":\"send\",\"round\":%d,\"msg\":%d,\"kind\":\"%s\",\"bytes\":%d,\"lc\":%d,\"src\":%d,\"dst\":%d}"
+        round msg (kind_to_string kind) bytes lc src dst
+  | Deliver { round; msg; kind; bytes; lc; src; dst } ->
+      Printf.sprintf
+        "{\"ev\":\"deliver\",\"round\":%d,\"msg\":%d,\"kind\":\"%s\",\"bytes\":%d,\"lc\":%d,\"src\":%d,\"dst\":%d}"
+        round msg (kind_to_string kind) bytes lc src dst
+  | Drop { round; msg; kind; bytes; src; dst; cause } ->
+      Printf.sprintf
+        "{\"ev\":\"drop\",\"round\":%d,\"msg\":%d,\"kind\":\"%s\",\"bytes\":%d,\"src\":%d,\"dst\":%d,\"cause\":\"%s\"}"
+        round msg (kind_to_string kind) bytes src dst (cause_to_string cause)
   | Retransmit { round; src; dst } ->
       Printf.sprintf "{\"ev\":\"retransmit\",\"round\":%d,\"src\":%d,\"dst\":%d}" round src
         dst
@@ -68,9 +139,10 @@ let event_to_json = function
       Printf.sprintf "{\"ev\":\"crash\",\"round\":%d,\"node\":%d}" round node
   | Restart { round; node } ->
       Printf.sprintf "{\"ev\":\"restart\",\"round\":%d,\"node\":%d}" round node
-  | Query_hop { round; src; dst } ->
-      Printf.sprintf "{\"ev\":\"query_hop\",\"round\":%d,\"src\":%d,\"dst\":%d}" round src
-        dst
+  | Query_hop { round; msg; bytes; src; dst } ->
+      Printf.sprintf
+        "{\"ev\":\"query_hop\",\"round\":%d,\"msg\":%d,\"bytes\":%d,\"src\":%d,\"dst\":%d}"
+        round msg bytes src dst
   | Suspect { round; by; node } ->
       Printf.sprintf "{\"ev\":\"suspect\",\"round\":%d,\"by\":%d,\"node\":%d}" round by
         node
@@ -110,3 +182,203 @@ let to_jsonl t =
   Buffer.contents buf
 
 let pp_event ppf ev = Format.pp_print_string ppf (event_to_json ev)
+
+(* ----- parsing (the analyzer's input path) -----
+
+   A tiny flat-object JSON reader: every event renders as a single-line
+   object whose values are ints, booleans or strings, so nothing more
+   general is needed.  Mirrors Registry's hand-rolled reader — no JSON
+   dependency. *)
+
+type jval = Jint of int | Jstr of string | Jbool of bool
+
+exception Bad of string
+
+let parse_flat line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let fail msg = raise (Bad msg) in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if !pos >= n || line.[!pos] <> c then fail (Printf.sprintf "expected '%c'" c);
+    incr pos
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string";
+      match line.[!pos] with
+      | '"' -> incr pos
+      | '\\' ->
+          if !pos + 1 >= n then fail "dangling escape";
+          (match line.[!pos + 1] with
+          | '"' -> Buffer.add_char buf '"'
+          | '\\' -> Buffer.add_char buf '\\'
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'u' ->
+              if !pos + 5 >= n then fail "short unicode escape";
+              let code = int_of_string ("0x" ^ String.sub line (!pos + 2) 4) in
+              Buffer.add_char buf (Char.chr (code land 0xff));
+              pos := !pos + 4
+          | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          pos := !pos + 2;
+          go ()
+      | c ->
+          Buffer.add_char buf c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let parse_value () =
+    skip_ws ();
+    if !pos >= n then fail "missing value";
+    match line.[!pos] with
+    | '"' -> Jstr (parse_string ())
+    | 't' ->
+        if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
+          pos := !pos + 4;
+          Jbool true
+        end
+        else fail "bad literal"
+    | 'f' ->
+        if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
+          pos := !pos + 5;
+          Jbool false
+        end
+        else fail "bad literal"
+    | '-' | '0' .. '9' ->
+        let start = !pos in
+        if line.[!pos] = '-' then incr pos;
+        while !pos < n && (match line.[!pos] with '0' .. '9' -> true | _ -> false) do
+          incr pos
+        done;
+        if !pos = start then fail "empty number";
+        Jint (int_of_string (String.sub line start (!pos - start)))
+    | c -> fail (Printf.sprintf "unexpected '%c'" c)
+  in
+  expect '{';
+  skip_ws ();
+  let fields = ref [] in
+  if !pos < n && line.[!pos] = '}' then incr pos
+  else begin
+    let rec members () =
+      let key = (skip_ws (); parse_string ()) in
+      expect ':';
+      let v = parse_value () in
+      fields := (key, v) :: !fields;
+      skip_ws ();
+      if !pos < n && line.[!pos] = ',' then begin
+        incr pos;
+        members ()
+      end
+      else expect '}'
+    in
+    members ()
+  end;
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  List.rev !fields
+
+let event_of_json line =
+  match parse_flat line with
+  | exception Bad _ -> None
+  | exception _ -> None
+  | fields -> (
+      let int k = match List.assoc_opt k fields with Some (Jint i) -> Some i | _ -> None in
+      let str k = match List.assoc_opt k fields with Some (Jstr s) -> Some s | _ -> None in
+      let bool k =
+        match List.assoc_opt k fields with Some (Jbool b) -> Some b | _ -> None
+      in
+      let kind k = Option.bind (str k) kind_of_string in
+      match str "ev" with
+      | Some "round_start" -> (
+          match int "round" with Some round -> Some (Round_start { round }) | None -> None)
+      | Some "send" -> (
+          match (int "round", int "msg", kind "kind", int "bytes", int "lc", int "src", int "dst") with
+          | Some round, Some msg, Some kind, Some bytes, Some lc, Some src, Some dst ->
+              Some (Send { round; msg; kind; bytes; lc; src; dst })
+          | _ -> None)
+      | Some "deliver" -> (
+          match (int "round", int "msg", kind "kind", int "bytes", int "lc", int "src", int "dst") with
+          | Some round, Some msg, Some kind, Some bytes, Some lc, Some src, Some dst ->
+              Some (Deliver { round; msg; kind; bytes; lc; src; dst })
+          | _ -> None)
+      | Some "drop" -> (
+          match
+            ( int "round",
+              int "msg",
+              kind "kind",
+              int "bytes",
+              int "src",
+              int "dst",
+              Option.bind (str "cause") cause_of_string )
+          with
+          | Some round, Some msg, Some kind, Some bytes, Some src, Some dst, Some cause ->
+              Some (Drop { round; msg; kind; bytes; src; dst; cause })
+          | _ -> None)
+      | Some "retransmit" -> (
+          match (int "round", int "src", int "dst") with
+          | Some round, Some src, Some dst -> Some (Retransmit { round; src; dst })
+          | _ -> None)
+      | Some "crash" -> (
+          match (int "round", int "node") with
+          | Some round, Some node -> Some (Crash { round; node })
+          | _ -> None)
+      | Some "restart" -> (
+          match (int "round", int "node") with
+          | Some round, Some node -> Some (Restart { round; node })
+          | _ -> None)
+      | Some "query_hop" -> (
+          match (int "round", int "msg", int "bytes", int "src", int "dst") with
+          | Some round, Some msg, Some bytes, Some src, Some dst ->
+              Some (Query_hop { round; msg; bytes; src; dst })
+          | _ -> None)
+      | Some "suspect" -> (
+          match (int "round", int "by", int "node") with
+          | Some round, Some by, Some node -> Some (Suspect { round; by; node })
+          | _ -> None)
+      | Some "confirm_dead" -> (
+          match (int "round", int "by", int "node") with
+          | Some round, Some by, Some node -> Some (Confirm_dead { round; by; node })
+          | _ -> None)
+      | Some "regraft" -> (
+          match (int "round", int "node", int "new_parent") with
+          | Some round, Some node, Some new_parent ->
+              Some (Regraft { round; node; new_parent })
+          | _ -> None)
+      | Some "quiesce" -> (
+          match int "round" with Some round -> Some (Quiesce { round }) | None -> None)
+      | Some "snapshot_write" -> (
+          match (int "round", int "bytes") with
+          | Some round, Some bytes -> Some (Snapshot_write { round; bytes })
+          | _ -> None)
+      | Some "restore" -> (
+          match (int "round", bool "warm") with
+          | Some round, Some warm -> Some (Restore { round; warm })
+          | _ -> None)
+      | Some "restore_rejected" -> (
+          match (int "round", str "reason") with
+          | Some round, Some reason -> Some (Restore_rejected { round; reason })
+          | _ -> None)
+      | Some _ | None -> None)
+
+let of_jsonl s =
+  let lines = String.split_on_char '\n' s in
+  let rec go lineno acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go (lineno + 1) acc rest
+    | line :: rest -> (
+        match event_of_json line with
+        | Some ev -> go (lineno + 1) (ev :: acc) rest
+        | None -> Error (Printf.sprintf "trace: unparseable event at line %d" lineno))
+  in
+  go 1 [] lines

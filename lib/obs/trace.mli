@@ -5,7 +5,13 @@
     byte-identical traces ({!to_jsonl} is the canonical rendering, one
     JSON object per line).  Components emit into a sink resolved at
     construction time; the sink is either unbounded or a bounded ring
-    that keeps the newest events. *)
+    that keeps the newest events.
+
+    Schema v2: {!Send}/{!Deliver}/{!Drop}/{!Query_hop} carry message
+    identity (a per-run monotone id), a payload {!msg_kind}, an
+    estimated wire size in bytes, and — on send/deliver — the emitting
+    node's Lamport clock, making the happens-before DAG of a run
+    reconstructible from the trace alone (see {!Causal}). *)
 
 type drop_cause =
   | Fault_loss  (** lost by the fault plan at send time *)
@@ -14,15 +20,63 @@ type drop_cause =
   | Purge       (** in-flight traffic purged by a crash/leave or
                     [clear_in_flight] *)
 
+type msg_kind =
+  | Heartbeat   (** failure-detector lease renewal *)
+  | Aggregate   (** steady-state Algorithm 2/3 update *)
+  | Invalidate  (** update repropagated after a dead neighbor's state
+                    was deleted *)
+  | Ack         (** per-link cumulative acknowledgement *)
+  | Retransmit  (** timeout-driven re-send of an unacked update *)
+  | Query       (** Algorithm 4 routing hop *)
+  | Repair      (** update triggered by overlay self-healing
+                    (relink/regraft or root-path dirtying) *)
+
+val kind_to_string : msg_kind -> string
+(** Lowercase wire name, e.g. ["heartbeat"]. *)
+
+val kind_of_string : string -> msg_kind option
+
+val all_kinds : msg_kind list
+(** Every kind once, in a fixed canonical order (the order reports
+    enumerate attribution rows in). *)
+
 type event =
   | Round_start of { round : int }
-  | Send of { round : int; src : int; dst : int }
-  | Deliver of { round : int; src : int; dst : int }
-  | Drop of { round : int; src : int; dst : int; cause : drop_cause }
+  | Send of {
+      round : int;
+      msg : int;    (** per-run monotone message id *)
+      kind : msg_kind;
+      bytes : int;  (** estimated wire size *)
+      lc : int;     (** sender's Lamport clock after the send bump *)
+      src : int;
+      dst : int;
+    }
+  | Deliver of {
+      round : int;
+      msg : int;
+      kind : msg_kind;
+      bytes : int;
+      lc : int;     (** receiver's Lamport clock after the merge bump *)
+      src : int;
+      dst : int;
+    }
+  | Drop of {
+      round : int;
+      msg : int;
+      kind : msg_kind;
+      bytes : int;
+      src : int;
+      dst : int;
+      cause : drop_cause;
+    }
   | Retransmit of { round : int; src : int; dst : int }
+      (** retransmission decision marker; the re-sent update follows as
+          a [Send] with [kind = Retransmit] *)
   | Crash of { round : int; node : int }
   | Restart of { round : int; node : int }
-  | Query_hop of { round : int; src : int; dst : int }
+  | Query_hop of { round : int; msg : int; bytes : int; src : int; dst : int }
+      (** one synchronous Algorithm 4 routing hop; ids are drawn from
+          the same per-run counter as engine sends *)
   | Suspect of { round : int; by : int; node : int }
       (** watcher [by]'s failure detector started suspecting [node] *)
   | Confirm_dead of { round : int; by : int; node : int }
@@ -58,13 +112,23 @@ val clear : t -> unit
 (** Drops retained events; [emitted] keeps counting from its old value. *)
 
 val cause_to_string : drop_cause -> string
+val cause_of_string : string -> drop_cause option
 
 val event_to_json : event -> string
 (** One canonical single-line JSON object, e.g.
-    [{"ev":"drop","round":3,"src":0,"dst":5,"cause":"fault_loss"}]. *)
+    [{"ev":"drop","round":3,"msg":17,"kind":"aggregate","bytes":128,"src":0,"dst":5,"cause":"fault_loss"}]. *)
 
 val to_jsonl : t -> string
 (** Retained events as JSONL (one {!event_to_json} line per event,
     each terminated by ['\n']). *)
+
+val event_of_json : string -> event option
+(** Inverse of {!event_to_json}; [None] on malformed input or unknown
+    event names (forward compatibility is deliberate — analyzers skip
+    nothing, {!of_jsonl} rejects instead). *)
+
+val of_jsonl : string -> (event list, string) result
+(** Parse a whole JSONL trace (blank lines ignored).  [Error] names the
+    first unparseable line. *)
 
 val pp_event : Format.formatter -> event -> unit

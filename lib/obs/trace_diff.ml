@@ -1,0 +1,54 @@
+(* First-divergence finder over two JSONL traces.
+
+   Purely line-based on purpose: the determinism contract is that two
+   identically-seeded runs render byte-identical JSONL, so the first
+   differing *line* is the first differing *event* — and reporting raw
+   lines keeps the tool honest even on traces the event parser cannot
+   read (foreign schema versions, truncation mid-line). *)
+
+type divergence = {
+  line : int; (* 1-based *)
+  left : string option;  (* None = this side ended first *)
+  right : string option;
+}
+
+type result = Identical | Diverges of divergence
+
+let lines_of s =
+  (* split dropping a single trailing newline, so "a\nb\n" is two lines
+     like every line-oriented tool counts them *)
+  let s =
+    let n = String.length s in
+    if n > 0 && s.[n - 1] = '\n' then String.sub s 0 (n - 1) else s
+  in
+  if s = "" then [] else String.split_on_char '\n' s
+
+let diff_strings a b =
+  let rec go lineno la lb =
+    match (la, lb) with
+    | [], [] -> Identical
+    | l :: la', r :: lb' ->
+        if String.equal l r then go (lineno + 1) la' lb'
+        else Diverges { line = lineno; left = Some l; right = Some r }
+    | l :: _, [] -> Diverges { line = lineno; left = Some l; right = None }
+    | [], r :: _ -> Diverges { line = lineno; left = None; right = Some r }
+  in
+  go 1 (lines_of a) (lines_of b)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let diff_files a b = diff_strings (read_file a) (read_file b)
+
+let to_string ~left_name ~right_name = function
+  | Identical -> Printf.sprintf "traces identical (%s, %s)\n" left_name right_name
+  | Diverges d ->
+      let side name = function
+        | Some l -> Printf.sprintf "  %s: %s\n" name l
+        | None -> Printf.sprintf "  %s: <ended at line %d>\n" name (d.line - 1)
+      in
+      Printf.sprintf "traces diverge at line %d\n%s%s" d.line
+        (side left_name d.left) (side right_name d.right)

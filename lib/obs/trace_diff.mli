@@ -1,0 +1,27 @@
+(** First-divergence finder over two JSONL traces — the dynamic
+    determinism-debugging tool complementing bwclint's static taint
+    pass: when two identically-seeded runs stop being byte-identical,
+    this names the first event where their histories fork.
+
+    Deliberately line-based rather than event-based: the determinism
+    contract is byte-identical JSONL, and raw lines stay meaningful
+    even on traces the event parser cannot read. *)
+
+type divergence = {
+  line : int;  (** 1-based line number of the first difference *)
+  left : string option;  (** [None]: the left trace ended before [line] *)
+  right : string option;
+}
+
+type result = Identical | Diverges of divergence
+
+val diff_strings : string -> string -> result
+(** Compare two whole-file contents.  A single trailing newline on
+    either side is not a line of its own. *)
+
+val diff_files : string -> string -> result
+(** [diff_files a b] reads both files and compares.  Raises [Sys_error]
+    on unreadable paths. *)
+
+val to_string : left_name:string -> right_name:string -> result -> string
+(** Human-readable rendering, quoting both divergent lines. *)

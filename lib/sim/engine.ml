@@ -4,16 +4,34 @@ module Trace = Bwc_obs.Trace
 
 type drop_cause = Trace.drop_cause = Fault_loss | Partition | Dead_dst | Purge
 
+(* one enqueued copy of a message, carrying the trace identity minted at
+   send time so delivery/drop events cite the same id/kind/bytes/stamp *)
+type 'msg flight = {
+  f_dst : int;
+  f_src : int;
+  f_msg : 'msg;
+  f_id : int;
+  f_kind : Trace.msg_kind;
+  f_bytes : int;
+  f_lc : int;
+}
+
 type 'msg t = {
   rng : Rng.t;
   n : int;
   active : bool array;
   faults : Fault.t;
   edge_delay : src:int -> dst:int -> int;
-  (* messages in flight: delivery round -> (dst, src, msg), FIFO within a
+  (* messages in flight: delivery round -> flights, FIFO within a
      round because the table holds reversed lists flipped at delivery *)
-  in_flight : (int, (int * int * 'msg) list) Hashtbl.t;
+  in_flight : (int, 'msg flight list) Hashtbl.t;
   inbox : (int * 'msg) Queue.t array; (* being consumed this round *)
+  (* causal stamps: per-node Lamport clocks and the per-run monotone
+     message-id counter.  Maintained whether or not a trace sink is
+     attached (they never feed back into protocol behaviour, so
+     instrumentation still cannot perturb a run). *)
+  lamport : int array;
+  mutable next_msg_id : int;
   mutable flying : int;
   mutable round : int;
   metrics : Registry.t;
@@ -44,6 +62,8 @@ let create ?(faults = Fault.none) ?(edge_delay = fun ~src:_ ~dst:_ -> 1) ?metric
     edge_delay;
     in_flight = Hashtbl.create 64;
     inbox = Array.init n (fun _ -> Queue.create ());
+    lamport = Array.make n 0;
+    next_msg_id = 0;
     flying = 0;
     round = 0;
     metrics;
@@ -77,31 +97,54 @@ let drop_counter t = function
   | Dead_dst -> t.c_drop_dead
   | Purge -> t.c_drop_purge
 
-let record_drop t ~src ~dst cause =
+let record_drop t ~msg ~kind ~bytes ~src ~dst cause =
   Registry.Counter.incr (drop_counter t cause);
-  emit t (Trace.Drop { round = t.round; src; dst; cause })
+  emit t (Trace.Drop { round = t.round; msg; kind; bytes; src; dst; cause })
+
+let drop_flight t f cause =
+  record_drop t ~msg:f.f_id ~kind:f.f_kind ~bytes:f.f_bytes ~src:f.f_src ~dst:f.f_dst
+    cause
 
 let check t i = if i < 0 || i >= t.n then invalid_arg "Engine: node id out of range"
+
+let fresh_msg_id t =
+  let id = t.next_msg_id in
+  t.next_msg_id <- id + 1;
+  id
+
+let lamport t i =
+  check t i;
+  t.lamport.(i)
 
 let enqueue t ~due entry =
   let waiting = Option.value ~default:[] (Hashtbl.find_opt t.in_flight due) in
   Hashtbl.replace t.in_flight due (entry :: waiting);
   t.flying <- t.flying + 1
 
-let send t ~src ~dst msg =
+let send t ~src ~dst ~kind ~bytes msg =
   check t src;
   check t dst;
+  if bytes < 0 then invalid_arg "Engine.send: negative bytes";
   Registry.Counter.incr t.c_sent;
-  emit t (Trace.Send { round = t.round; src; dst });
+  t.lamport.(src) <- t.lamport.(src) + 1;
+  let lc = t.lamport.(src) in
+  let id = fresh_msg_id t in
+  emit t (Trace.Send { round = t.round; msg = id; kind; bytes; lc; src; dst });
   (* The sender cannot know whether the destination is up: the message is
      enqueued unconditionally and dropped at delivery time if the
      destination is down by then (run_round's check). *)
   match Fault.on_send t.faults ~round:t.round ~src ~dst with
-  | Fault.Blocked `Partition -> record_drop t ~src ~dst Partition
-  | Fault.Blocked `Loss -> record_drop t ~src ~dst Fault_loss
+  | Fault.Blocked `Partition -> record_drop t ~msg:id ~kind ~bytes ~src ~dst Partition
+  | Fault.Blocked `Loss -> record_drop t ~msg:id ~kind ~bytes ~src ~dst Fault_loss
   | Fault.Deliver extras ->
       let delay = Stdlib.max 1 (t.edge_delay ~src ~dst) in
-      List.iter (fun extra -> enqueue t ~due:(t.round + delay + extra) (dst, src, msg)) extras
+      List.iter
+        (fun extra ->
+          enqueue t
+            ~due:(t.round + delay + extra)
+            { f_dst = dst; f_src = src; f_msg = msg; f_id = id; f_kind = kind;
+              f_bytes = bytes; f_lc = lc })
+        extras
 
 let set_active t i b =
   check t i;
@@ -117,14 +160,17 @@ let set_active t i b =
     (* bwclint: allow no-unordered-hashtbl-iter -- each round bucket is partitioned in isolation; counter updates are commutative sums *)
     Hashtbl.filter_map_inplace
       (fun due waiting ->
-        let keep, drop = List.partition (fun (dst, _, _) -> dst <> i) waiting in
+        let keep, drop = List.partition (fun f -> f.f_dst <> i) waiting in
         t.flying <- t.flying - List.length drop;
-        List.iter (fun (dst, src, _) -> purged := (due, dst, src) :: !purged) drop;
+        List.iter (fun f -> purged := (due, f) :: !purged) drop;
         if keep = [] then None else Some keep)
       t.in_flight;
     List.iter
-      (fun (_, dst, src) -> record_drop t ~src ~dst Purge)
-      (List.sort compare !purged);
+      (fun (_, f) -> drop_flight t f Purge)
+      (List.sort
+         (fun (d1, f1) (d2, f2) ->
+           compare (d1, f1.f_dst, f1.f_src, f1.f_id) (d2, f2.f_dst, f2.f_src, f2.f_id))
+         !purged);
     Queue.clear t.inbox.(i)
   end
 
@@ -139,7 +185,7 @@ let clear_in_flight t =
      deterministic *)
   Bwc_stats.Tbl.iter_sorted
     (fun _ waiting ->
-      List.iter (fun (dst, src, _) -> record_drop t ~src ~dst Purge) (List.rev waiting))
+      List.iter (fun f -> drop_flight t f Purge) (List.rev waiting))
     t.in_flight;
   t.flying <- 0;
   Hashtbl.reset t.in_flight;
@@ -169,15 +215,21 @@ let run_round t ~step =
   | Some waiting ->
       Hashtbl.remove t.in_flight t.round;
       List.iter
-        (fun (dst, src, msg) ->
+        (fun f ->
           t.flying <- t.flying - 1;
-          if t.active.(dst) then begin
-            Queue.add (src, msg) t.inbox.(dst);
+          if t.active.(f.f_dst) then begin
+            Queue.add (f.f_src, f.f_msg) t.inbox.(f.f_dst);
             Registry.Counter.incr t.c_delivered;
-            emit t (Trace.Deliver { round = t.round; src; dst });
+            (* receive-side Lamport merge: the receiver's clock jumps past
+               the stamp carried by the message *)
+            t.lamport.(f.f_dst) <- Stdlib.max t.lamport.(f.f_dst) f.f_lc + 1;
+            emit t
+              (Trace.Deliver
+                 { round = t.round; msg = f.f_id; kind = f.f_kind; bytes = f.f_bytes;
+                   lc = t.lamport.(f.f_dst); src = f.f_src; dst = f.f_dst });
             incr delivered
           end
-          else record_drop t ~src ~dst Dead_dst)
+          else drop_flight t f Dead_dst)
         (List.rev waiting)
   | None -> ());
   let order = Rng.permutation t.rng t.n in

@@ -58,7 +58,11 @@ val faults : 'msg t -> Fault.t
 val restore_round : 'msg t -> int -> unit
 (** Snapshot restore only: fast-forwards the round clock of a freshly
     created engine so round-relative protocol state (send timestamps,
-    lease clocks) stays meaningful.  Raises on negative rounds. *)
+    lease clocks) stays meaningful.  Raises on negative rounds.
+
+    Trace identity (message ids, Lamport clocks) deliberately restarts
+    at zero: a restored run begins a fresh trace, and causal analysis
+    never spans a restore boundary. *)
 
 val rng_state : 'msg t -> int64
 (** The step-order generator's state (see {!Bwc_stats.Rng.state}), so a
@@ -68,12 +72,32 @@ val metrics : 'msg t -> Bwc_obs.Registry.t
 (** The registry holding the engine's counters (the [?metrics] argument
     of {!create}, or the engine's private registry). *)
 
-val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+val send :
+  'msg t -> src:int -> dst:int -> kind:Bwc_obs.Trace.msg_kind -> bytes:int ->
+  'msg -> unit
 (** Enqueues for delivery next round.  The sender cannot observe the
     destination's liveness: the message is enqueued even when the
     destination is currently down, and dropped at {e delivery} time if
     the destination is down then (counted under [Dead_dst]).  The fault
-    plan may lose, duplicate or further delay the message. *)
+    plan may lose, duplicate or further delay the message.
+
+    [kind] and [bytes] label the traffic for trace attribution: every
+    send mints a fresh per-run message id, bumps the sender's Lamport
+    clock, and emits exactly one [Trace.Send] carrying id, kind, byte
+    size and stamp (which the matching [Deliver]/[Drop] then cites) —
+    the 1:1 Send-event-per-send invariant E16's exact-attribution check
+    rests on.  Duplicated copies share one id.  Raises on negative
+    [bytes]. *)
+
+val fresh_msg_id : 'msg t -> int
+(** Draws the next id from the per-run monotone message-id counter —
+    for traffic that bypasses the in-flight queue (synchronous query
+    hops) but must still be causally identifiable in the trace. *)
+
+val lamport : 'msg t -> int -> int
+(** [lamport t i] is node [i]'s current Lamport clock (0 until it first
+    sends or receives).  Maintained whether or not a trace is attached;
+    never feeds back into protocol behaviour. *)
 
 val set_active : 'msg t -> int -> bool -> unit
 (** Deactivating a node drops its queued inbox and everything in flight

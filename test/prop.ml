@@ -1,6 +1,6 @@
 (* Seeded property-based differential harness.
 
-   Three properties, each over freshly generated random spaces:
+   Four properties, each over freshly generated random inputs:
 
    1. churn-differential — after ANY sequence of Index.add_host /
       Index.remove_host events, the incrementally maintained
@@ -10,7 +10,12 @@
       the exact Bron-Kerbosch clique oracle on every (k, l) query;
    3. alg1-oracle-noisy — on noisy near-tree spaces the two may disagree
       only in the direction WPR permits (Algorithm 1 claiming a cluster
-      the real space does not have, never missing one that exists).
+      the real space does not have, never missing one that exists);
+   4. causal-dag — on traces of protocol runs under random fault plans
+      (loss, duplication, jitter, crash windows), Causal.reconstruct
+      yields a well-formed happens-before DAG: every Deliver matches a
+      Send, Lamport stamps respect happens-before, predecessor edges
+      point strictly backwards (acyclicity) and chain lengths add up.
 
    The harness is deliberately NOT an alcotest suite: its stdout is
    fully deterministic for a given seed (no timings), so two runs with
@@ -228,9 +233,124 @@ let oracle_noisy () =
   Printf.printf "%s: %d cases, %d queries (%d one-sided), 0 forbidden [ok]\n" prop
     n_cases !queries !one_sided
 
+(* ----- property 4: happens-before DAG facts under random faults ----- *)
+
+module Fault = Bwc_sim.Fault
+module Protocol = Bwc_core.Protocol
+module Ensemble = Bwc_predtree.Ensemble
+module Trace = Bwc_obs.Trace
+module Causal = Bwc_obs.Causal
+
+let causal_dag () =
+  let prop = "causal-dag" in
+  let n_cases = Stdlib.max 1 (cases / 10) in
+  let msgs_total = ref 0 and edges_total = ref 0 in
+  for case = 0 to n_cases - 1 do
+    let rng = case_rng (300_000 + case) in
+    let n = 12 + Rng.int rng 13 in
+    let ds =
+      Bwc_dataset.Planetlab.generate ~rng:(Rng.split rng) ~name:"prop-ds"
+        { Bwc_dataset.Planetlab.hp_target with n }
+    in
+    let space = Bwc_dataset.Dataset.metric ds in
+    let classes = Bwc_core.Classes.of_percentiles ~count:4 ds in
+    let metrics = Bwc_obs.Registry.create () in
+    let trace = Trace.create () in
+    let drop = Rng.float rng 0.3 and duplicate = Rng.float rng 0.2 in
+    let jitter = Rng.int rng 3 in
+    let crashes =
+      List.filter_map
+        (fun host ->
+          if Rng.float rng 1.0 < 0.1 then begin
+            let down_from = 2 + Rng.int rng 6 in
+            Some
+              {
+                Fault.node = host;
+                down_from;
+                up_at = down_from + 2 + Rng.int rng 4;
+              }
+          end
+          else None)
+        (List.init (n - 1) (fun i -> i + 1))
+    in
+    let faults =
+      Fault.create ~drop ~duplicate ~jitter ~crashes ~metrics
+        ~rng:(Rng.split rng) ()
+    in
+    let ens = Ensemble.build ~rng:(Rng.split rng) ~metrics space in
+    let p =
+      Protocol.create ~rng:(Rng.split rng) ~n_cut:3 ~faults ~metrics ~trace
+        ~classes ens
+    in
+    let (_ : int) = Protocol.run_aggregation ~max_rounds:300 p in
+    let dag = Causal.reconstruct (Trace.events trace) in
+    if dag.Causal.unmatched_delivers <> [] then
+      fail_case prop case "%d delivers without a visible send"
+        (List.length dag.Causal.unmatched_delivers);
+    let by_id = Hashtbl.create 256 in
+    List.iter
+      (fun (m : Causal.msg_info) -> Hashtbl.replace by_id m.m_id m)
+      dag.Causal.msgs;
+    List.iter
+      (fun (m : Causal.msg_info) ->
+        incr msgs_total;
+        if m.m_send_lc < 1 then
+          fail_case prop case "msg %d: send lc %d < 1" m.m_id m.m_send_lc;
+        (match (m.m_deliver_round, m.m_deliver_lc) with
+        | Some dr, Some dlc ->
+            if dr < m.m_send_round then
+              fail_case prop case "msg %d: delivered round %d < send round %d"
+                m.m_id dr m.m_send_round;
+            if dlc <= m.m_send_lc then
+              fail_case prop case
+                "msg %d: deliver lc %d <= send lc %d (Lamport violates HB)"
+                m.m_id dlc m.m_send_lc
+        | None, None -> ()
+        | _ -> fail_case prop case "msg %d: half-recorded delivery" m.m_id);
+        match m.m_pred with
+        | None ->
+            if m.m_chain <> 1 then
+              fail_case prop case "msg %d: rootless chain length %d" m.m_id
+                m.m_chain
+        | Some pid -> (
+            (* pred ids are strictly smaller: edges point backwards in
+               send order, so the reconstructed DAG cannot have a cycle *)
+            if pid >= m.m_id then
+              fail_case prop case "msg %d: pred %d not strictly earlier"
+                m.m_id pid;
+            incr edges_total;
+            match Hashtbl.find_opt by_id pid with
+            | None -> fail_case prop case "msg %d: pred %d unknown" m.m_id pid
+            | Some pred -> (
+                if m.m_chain <> pred.m_chain + 1 then
+                  fail_case prop case "msg %d: chain %d <> pred chain %d + 1"
+                    m.m_id m.m_chain pred.m_chain;
+                if pred.m_dst <> m.m_src then
+                  fail_case prop case
+                    "msg %d from %d: pred %d was delivered at %d" m.m_id
+                    m.m_src pid pred.m_dst;
+                match (pred.m_deliver_round, pred.m_deliver_lc) with
+                | Some pdr, Some pdlc ->
+                    if pdr > m.m_send_round then
+                      fail_case prop case
+                        "msg %d: pred %d delivered round %d > send round %d"
+                        m.m_id pid pdr m.m_send_round;
+                    if pdlc >= m.m_send_lc then
+                      fail_case prop case
+                        "msg %d: pred %d deliver lc %d >= send lc %d" m.m_id
+                        pid pdlc m.m_send_lc
+                | _ ->
+                    fail_case prop case "msg %d: pred %d never delivered"
+                      m.m_id pid)))
+      dag.Causal.msgs
+  done;
+  Printf.printf "%s: %d cases, %d messages, %d causal edges, all HB facts hold [ok]\n"
+    prop n_cases !msgs_total !edges_total
+
 let () =
   Printf.printf "bwc property harness (seed %d, %d churn sequences)\n" seed cases;
   churn_differential ();
   oracle_tree ();
   oracle_noisy ();
+  causal_dag ();
   Printf.printf "all properties hold\n"

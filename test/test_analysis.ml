@@ -121,6 +121,36 @@ let test_no_marshal () =
     "Marshal fine outside lib/" []
     (rule_ids (lint ~path:"bin/fixture.ml" "let f x = Marshal.to_string x []\n"))
 
+let test_no_unlabelled_send () =
+  check_single_finding "Send without kind/bytes" ~rule:"no-unlabelled-send"
+    "let f tr = emit tr (Trace.Send { round = 1; msg = 0; lc = 1; src = 0; \
+     dst = 1 })\n";
+  check_single_finding "Deliver missing bytes" ~rule:"no-unlabelled-send"
+    ~path:"lib/sim/fixture.ml"
+    "let f tr k = emit tr (Trace.Deliver { round = 1; msg = 0; kind = k; lc \
+     = 1; src = 0; dst = 1 })\n";
+  check_single_finding "event from a variable" ~rule:"no-unlabelled-send"
+    "let f tr e = emit tr (Trace.Send e)\n";
+  check_single_finding "qualified constructor too" ~rule:"no-unlabelled-send"
+    "let f tr = emit tr (Bwc_obs.Trace.Send { round = 1; msg = 0; kind = k; \
+     lc = 1; src = 0; dst = 1 })\n";
+  Alcotest.(check (list string))
+    "labelled send accepted" []
+    (rule_ids
+       (lint
+          "let f tr k b = emit tr (Trace.Send { round = 1; msg = 0; kind = \
+           k; bytes = b; lc = 1; src = 0; dst = 1 })\n"));
+  (* pattern matches (trace consumers) are not construction sites *)
+  Alcotest.(check (list string))
+    "match on Send accepted" []
+    (rule_ids
+       (lint "let f = function Trace.Send { bytes; _ } -> bytes | _ -> 0\n"));
+  Alcotest.(check (list string))
+    "tests may build bare events" []
+    (rule_ids
+       (lint ~path:"test/fixture.ml"
+          "let e = Trace.Send { round = 1; msg = 0; lc = 1; src = 0; dst = 1 }\n"))
+
 (* ----- clean fixture ----- *)
 
 let clean_src =
@@ -658,6 +688,7 @@ let test_rule_catalog_complete () =
       "naked-failwith";
       "no-obj-magic";
       "no-marshal";
+      "no-unlabelled-send";
     ];
   let out = Format.asprintf "%a" Report.rule_catalog () in
   List.iter
@@ -689,6 +720,7 @@ let () =
           Alcotest.test_case "naked-failwith" `Quick test_naked_failwith;
           Alcotest.test_case "no-obj-magic" `Quick test_no_obj_magic;
           Alcotest.test_case "no-marshal" `Quick test_no_marshal;
+          Alcotest.test_case "no-unlabelled-send" `Quick test_no_unlabelled_send;
           Alcotest.test_case "clean fixture" `Quick test_clean;
           Alcotest.test_case "catalog complete" `Quick test_rule_catalog_complete;
         ] );

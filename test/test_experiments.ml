@@ -301,6 +301,84 @@ let test_recovery_shapes () =
        && r.rr_after <= 1.0))
     out.Bwc_experiments.Robustness.rows
 
+let test_trace_analytics_shapes () =
+  let ds = small_dataset ~seed:32 32 in
+  let out = Bwc_experiments.Trace_analytics.run ~victims:2 ~queries:20 ~seed:33 ds in
+  let open Bwc_experiments.Trace_analytics in
+  Alcotest.(check (list string))
+    "scenarios" [ "clean"; "faulty"; "recovery" ]
+    (List.map (fun r -> r.scenario) out.rows);
+  List.iter
+    (fun r ->
+      (* the acceptance invariant: per-kind attribution sums exactly to
+         the engine's send counter (query hops excluded on both sides) *)
+      Alcotest.(check bool) (r.scenario ^ ": exact sum") true r.send_sum_matches;
+      let non_query =
+        List.fold_left
+          (fun acc k -> if k.kind = "query" then acc else acc + k.sends)
+          0 r.kinds
+      in
+      Alcotest.(check int) (r.scenario ^ ": kinds sum to messages") r.messages
+        non_query;
+      Alcotest.(check bool)
+        (r.scenario ^ ": frac in [0,1]")
+        true
+        (0.0 <= r.frac_explained && r.frac_explained <= 1.0);
+      Alcotest.(check bool) (r.scenario ^ ": critical path") true (r.cp_len > 0))
+    out.rows;
+  let find s = List.find (fun r -> r.scenario = s) out.rows in
+  let kind r name = List.find (fun k -> k.kind = name) r.kinds in
+  Alcotest.(check int) "clean run loses nothing" 0 (find "clean").dropped;
+  Alcotest.(check bool) "faults drop traffic" true ((find "faulty").dropped > 0);
+  Alcotest.(check bool) "drops force retransmits" true
+    ((kind (find "faulty") "retransmit").sends > 0);
+  Alcotest.(check bool) "detector heartbeats" true
+    ((kind (find "recovery") "heartbeat").sends > 0);
+  (* healing re-propagation is tagged repair (root-path/relink) or
+     invalidate (ex-neighbor purge) depending on which repair path the
+     overlay needed; either way the class must show up in attribution *)
+  Alcotest.(check bool) "crash repairs traced" true
+    ((kind (find "recovery") "repair").sends
+       + (kind (find "recovery") "invalidate").sends
+    > 0)
+
+let test_recovery_critical_path () =
+  (* the seeded E13-style recovery scenario behind `bwcluster analyze`:
+     the witness chain is deterministic, so its kind sequence is a
+     stable fact of the trace — aggregation converges (aggregate/ack
+     chains), then detector heartbeats carry causality until the repair
+     re-propagation closes the path *)
+  let ds = small_dataset ~seed:32 32 in
+  let events, engine_sends =
+    Bwc_experiments.Trace_analytics.recovery_events ~victims:1 ~queries:20
+      ~seed:33 ds
+  in
+  let report = Bwc_obs.Causal.analyze events in
+  Alcotest.(check int) "send events 1:1 with engine sends" engine_sends
+    (Bwc_obs.Causal.engine_sends report);
+  let chain =
+    List.map
+      (fun (h : Bwc_obs.Causal.hop) -> Bwc_obs.Trace.kind_to_string h.h_kind)
+      report.Bwc_obs.Causal.critical_path
+  in
+  Alcotest.(check (list string))
+    "witness chain kinds"
+    [
+      "aggregate"; "ack"; "ack"; "ack"; "ack"; "ack"; "heartbeat"; "heartbeat";
+      "heartbeat"; "heartbeat"; "heartbeat"; "heartbeat"; "heartbeat";
+      "heartbeat"; "heartbeat"; "heartbeat"; "heartbeat"; "heartbeat";
+      "heartbeat";
+    ]
+    chain;
+  (* byte-identical rerun: same seed, same events, same report *)
+  let events', _ =
+    Bwc_experiments.Trace_analytics.recovery_events ~victims:1 ~queries:20
+      ~seed:33 ds
+  in
+  Alcotest.(check string) "deterministic report"
+    (Bwc_obs.Causal.to_json report)
+    (Bwc_obs.Causal.to_json (Bwc_obs.Causal.analyze events'))
+
 let test_csv_export () =
   let ds = small_dataset ~seed:26 50 in
   let out = Bwc_experiments.Tradeoff.run ~rounds:1 ~per_k:2 ~seed:27 ds in
@@ -347,6 +425,10 @@ let () =
           Alcotest.test_case "routing policy (E11)" `Slow test_routing_shapes;
           Alcotest.test_case "robustness (E12)" `Slow test_robustness_shapes;
           Alcotest.test_case "crash recovery (E13)" `Slow test_recovery_shapes;
+          Alcotest.test_case "trace analytics (E16)" `Slow
+            test_trace_analytics_shapes;
+          Alcotest.test_case "recovery critical path (E16)" `Slow
+            test_recovery_critical_path;
           Alcotest.test_case "csv export" `Quick test_csv_export;
         ] );
     ]

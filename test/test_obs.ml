@@ -155,19 +155,63 @@ let test_text_rendering () =
 let test_trace_order_and_jsonl () =
   let tr = Trace.create () in
   Trace.emit tr (Trace.Round_start { round = 1 });
-  Trace.emit tr (Trace.Send { round = 1; src = 0; dst = 2 });
-  Trace.emit tr (Trace.Drop { round = 1; src = 0; dst = 2; cause = Trace.Fault_loss });
+  Trace.emit tr
+    (Trace.Send
+       { round = 1; msg = 0; kind = Trace.Aggregate; bytes = 96; lc = 1; src = 0; dst = 2 });
+  Trace.emit tr
+    (Trace.Drop
+       { round = 1; msg = 0; kind = Trace.Aggregate; bytes = 96; src = 0; dst = 2;
+         cause = Trace.Fault_loss });
   Trace.emit tr (Trace.Quiesce { round = 2 });
   Alcotest.(check int) "emitted" 4 (Trace.emitted tr);
   Alcotest.(check int) "kept" 4 (List.length (Trace.events tr));
   Alcotest.(check string) "jsonl"
     "{\"ev\":\"round_start\",\"round\":1}\n\
-     {\"ev\":\"send\",\"round\":1,\"src\":0,\"dst\":2}\n\
-     {\"ev\":\"drop\",\"round\":1,\"src\":0,\"dst\":2,\"cause\":\"fault_loss\"}\n\
+     {\"ev\":\"send\",\"round\":1,\"msg\":0,\"kind\":\"aggregate\",\"bytes\":96,\"lc\":1,\"src\":0,\"dst\":2}\n\
+     {\"ev\":\"drop\",\"round\":1,\"msg\":0,\"kind\":\"aggregate\",\"bytes\":96,\"src\":0,\"dst\":2,\"cause\":\"fault_loss\"}\n\
      {\"ev\":\"quiesce\",\"round\":2}\n"
     (Trace.to_jsonl tr);
   Trace.clear tr;
   Alcotest.(check int) "cleared" 0 (List.length (Trace.events tr))
+
+let test_trace_jsonl_round_trip () =
+  (* every event constructor renders and parses back exactly *)
+  let evs =
+    [
+      Trace.Round_start { round = 1 };
+      Trace.Send
+        { round = 1; msg = 3; kind = Trace.Heartbeat; bytes = 8; lc = 4; src = 1; dst = 0 };
+      Trace.Deliver
+        { round = 2; msg = 3; kind = Trace.Heartbeat; bytes = 8; lc = 5; src = 1; dst = 0 };
+      Trace.Drop
+        { round = 2; msg = 4; kind = Trace.Ack; bytes = 24; src = 0; dst = 1;
+          cause = Trace.Dead_dst };
+      Trace.Retransmit { round = 3; src = 0; dst = 1 };
+      Trace.Crash { round = 3; node = 2 };
+      Trace.Restart { round = 4; node = 2 };
+      Trace.Query_hop { round = 5; msg = 9; bytes = 16; src = 2; dst = 3 };
+      Trace.Suspect { round = 5; by = 1; node = 2 };
+      Trace.Confirm_dead { round = 6; by = 1; node = 2 };
+      Trace.Regraft { round = 6; node = 3; new_parent = 1 };
+      Trace.Quiesce { round = 7 };
+      Trace.Snapshot_write { round = 7; bytes = 1024 };
+      Trace.Restore { round = 8; warm = true };
+      Trace.Restore_rejected { round = 9; reason = "bad \"magic\"\nline" };
+    ]
+  in
+  let tr = Trace.create () in
+  List.iter (Trace.emit tr) evs;
+  (match Trace.of_jsonl (Trace.to_jsonl tr) with
+  | Ok parsed -> Alcotest.(check bool) "round-trips exactly" true (parsed = evs)
+  | Error e -> Alcotest.failf "of_jsonl failed: %s" e);
+  (match Trace.of_jsonl "{\"ev\":\"send\",\"round\":1}\n" with
+  | Ok _ -> Alcotest.fail "field-poor send must not parse"
+  | Error _ -> ());
+  Alcotest.(check bool)
+    "unknown event rejected" true
+    (match Trace.of_jsonl "{\"ev\":\"warp\",\"round\":1}" with
+    | Error _ -> true
+    | Ok _ -> false)
 
 let test_trace_failure_events_jsonl () =
   (* the failure-detection lifecycle: crash, suspicion, confirmation,
@@ -217,7 +261,7 @@ let engine_scenario () =
     Engine.run_until_stable e ~max_rounds:100 ~step:(fun id _ ->
         if !budget > 0 && id = 0 then begin
           decr budget;
-          Engine.send e ~src:0 ~dst:(1 + Rng.int source 7) ();
+          Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:(1 + Rng.int source 7) ();
           true
         end
         else false)
@@ -293,6 +337,112 @@ let test_instrumentation_is_transparent () =
 
 (* ----- span timers ----- *)
 
+(* ----- causal analytics ----- *)
+
+module Causal = Bwc_obs.Causal
+module Trace_diff = Bwc_obs.Trace_diff
+
+(* two nodes, three messages: an aggregate answered by an ack (the
+   critical path), a dropped heartbeat, and a query hop *)
+let causal_fixture =
+  [
+    Trace.Round_start { round = 1 };
+    Trace.Send
+      { round = 1; msg = 0; kind = Trace.Aggregate; bytes = 100; lc = 1; src = 0; dst = 1 };
+    Trace.Round_start { round = 2 };
+    Trace.Deliver
+      { round = 2; msg = 0; kind = Trace.Aggregate; bytes = 100; lc = 2; src = 0; dst = 1 };
+    Trace.Send
+      { round = 2; msg = 1; kind = Trace.Ack; bytes = 24; lc = 3; src = 1; dst = 0 };
+    Trace.Send
+      { round = 2; msg = 2; kind = Trace.Heartbeat; bytes = 8; lc = 4; src = 1; dst = 0 };
+    Trace.Round_start { round = 3 };
+    Trace.Deliver
+      { round = 3; msg = 1; kind = Trace.Ack; bytes = 24; lc = 4; src = 1; dst = 0 };
+    Trace.Drop
+      {
+        round = 3;
+        msg = 2;
+        kind = Trace.Heartbeat;
+        bytes = 8;
+        src = 1;
+        dst = 0;
+        cause = Trace.Fault_loss;
+      };
+    Trace.Query_hop { round = 3; msg = 3; bytes = 16; src = 0; dst = 1 };
+    Trace.Quiesce { round = 3 };
+  ]
+
+let test_causal_report_golden () =
+  let r = Causal.analyze causal_fixture in
+  Alcotest.(check int) "messages" 3 r.Causal.messages;
+  Alcotest.(check int) "engine sends exclude query hops" 3
+    (Causal.engine_sends r);
+  let expected_text =
+    "trace analytics\n\
+    \  rounds      : 3 (quiesce at 3)\n\
+    \  messages    : 3 sends, 2 delivered, 1 dropped, 1 query hops\n\
+    \  bytes       : 148\n\
+     \n\
+     critical path (2 hops, rounds 1..3, 66.7% of 3 rounds explained)\n\
+    \   hop     msg  kind               link   sent  delivered  bytes\n\
+    \     1       0  aggregate      0 ->    1      1         2    100\n\
+    \     2       1  ack            1 ->    0      2         3     24\n\
+     \n\
+     byte budget by kind\n\
+    \  kind          sends      bytes  delivered  dropped\n\
+    \  heartbeat         1          8          0        1\n\
+    \  aggregate         1        100          1        0\n\
+    \  ack               1         24          1        0\n\
+    \  query             1         16          1        0\n\
+     \n\
+     busiest links (top 10 by bytes)\n\
+    \         link     msgs      bytes\n\
+    \     0 ->    1        2        116\n\
+    \     1 ->    0        2         32\n\
+     \n\
+     round waterfall (sends per round)\n\
+    \     1 |#################### 1 sends, 100 bytes\n\
+    \     2 |######################################## 2 sends, 32 bytes\n\
+    \     3 |#################### 1 sends, 16 bytes\n"
+  in
+  Alcotest.(check string) "text golden" expected_text (Causal.to_text r);
+  let json = Causal.to_json r in
+  let json_prefix =
+    "{\"rounds\":3,\"quiesce_round\":3,\"messages\":3,\"delivered\":2,\"dropped\":1,\"query_hops\":1,\"total_bytes\":148,\"critical_path\":{\"hops\":2,\"cp_rounds\":2,\"frac_explained\":0.6667,\"chain\":[{\"msg\":0,\"kind\":\"aggregate\",\"src\":0,\"dst\":1,\"send_round\":1,\"deliver_round\":2,\"bytes\":100},{\"msg\":1,\"kind\":\"ack\",\"src\":1,\"dst\":0,\"send_round\":2,\"deliver_round\":3,\"bytes\":24}]}"
+  in
+  Alcotest.(check string) "json golden prefix" json_prefix
+    (String.sub json 0 (String.length json_prefix));
+  (* the DAG itself: the ack's causal predecessor is the aggregate *)
+  let dag = Causal.reconstruct causal_fixture in
+  Alcotest.(check (list int)) "no unmatched delivers" []
+    dag.Causal.unmatched_delivers;
+  let m1 = List.nth dag.Causal.msgs 1 in
+  Alcotest.(check (option int)) "ack pred" (Some 0) m1.Causal.m_pred;
+  Alcotest.(check int) "ack chain" 2 m1.Causal.m_chain
+
+let test_trace_diff () =
+  let a = "{\"ev\":\"a\"}\n{\"ev\":\"b\"}\n{\"ev\":\"c\"}\n" in
+  Alcotest.(check bool) "identical" true (Trace_diff.diff_strings a a = Trace_diff.Identical);
+  (match Trace_diff.diff_strings a "{\"ev\":\"a\"}\n{\"ev\":\"X\"}\n{\"ev\":\"c\"}\n" with
+  | Trace_diff.Diverges { line = 2; left = Some l; right = Some r } ->
+      Alcotest.(check string) "left line" "{\"ev\":\"b\"}" l;
+      Alcotest.(check string) "right line" "{\"ev\":\"X\"}" r
+  | _ -> Alcotest.fail "expected divergence at line 2");
+  (match Trace_diff.diff_strings a "{\"ev\":\"a\"}\n" with
+  | Trace_diff.Diverges { line = 2; left = Some _; right = None } -> ()
+  | _ -> Alcotest.fail "expected right side to end at line 2");
+  (* a single trailing newline is not a line of its own *)
+  Alcotest.(check bool) "trailing newline ignored" true
+    (Trace_diff.diff_strings "x\n" "x" = Trace_diff.Identical);
+  let rendered =
+    Trace_diff.to_string ~left_name:"a.jsonl" ~right_name:"b.jsonl"
+      (Trace_diff.Diverges { line = 7; left = Some "l"; right = None })
+  in
+  Alcotest.(check string) "rendering"
+    "traces diverge at line 7\n  a.jsonl: l\n  b.jsonl: <ended at line 6>\n"
+    rendered
+
 let test_span () =
   let s = Span.create "work" in
   Alcotest.(check string) "name" "work" (Span.name s);
@@ -324,6 +474,7 @@ let () =
       ( "trace",
         [
           Alcotest.test_case "order and jsonl" `Quick test_trace_order_and_jsonl;
+          Alcotest.test_case "jsonl round-trip" `Quick test_trace_jsonl_round_trip;
           Alcotest.test_case "failure events jsonl" `Quick
             test_trace_failure_events_jsonl;
           Alcotest.test_case "ring capacity" `Quick test_trace_ring_capacity;
@@ -336,6 +487,11 @@ let () =
             test_protocol_trace_deterministic;
           Alcotest.test_case "instrumentation transparent" `Quick
             test_instrumentation_is_transparent;
+        ] );
+      ( "causal",
+        [
+          Alcotest.test_case "report golden" `Quick test_causal_report_golden;
+          Alcotest.test_case "trace diff" `Quick test_trace_diff;
         ] );
       ("span", [ Alcotest.test_case "span timing" `Quick test_span ]);
     ]

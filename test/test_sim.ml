@@ -7,6 +7,7 @@ module Event_queue = Bwc_sim.Event_queue
 module Engine = Bwc_sim.Engine
 module Churn = Bwc_sim.Churn
 module Fault = Bwc_sim.Fault
+module Trace = Bwc_obs.Trace
 
 (* ----- Event_queue ----- *)
 
@@ -67,7 +68,7 @@ let test_eq_heap_stress () =
 
 let test_engine_next_round_delivery () =
   let e = Engine.create ~rng:(Rng.create 4) 2 in
-  Engine.send e ~src:0 ~dst:1 "hello";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "hello";
   let got_in_round_1 = ref [] in
   let (_ : bool) =
     Engine.run_round e ~step:(fun id inbox ->
@@ -85,7 +86,7 @@ let test_engine_next_round_delivery () =
   let e2 = Engine.create ~rng:(Rng.create 5) 2 in
   let (_ : bool) =
     Engine.run_round e2 ~step:(fun id inbox ->
-        if id = 0 then Engine.send e2 ~src:0 ~dst:1 "late";
+        if id = 0 then Engine.send e2 ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "late";
         if id = 1 && inbox <> [] then seen_early := true;
         false)
   in
@@ -94,7 +95,7 @@ let test_engine_next_round_delivery () =
 let test_engine_inactive_nodes_drop () =
   let e = Engine.create ~rng:(Rng.create 6) 3 in
   Engine.set_active e 2 false;
-  Engine.send e ~src:0 ~dst:2 "lost";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:2 "lost";
   (* the sender cannot know the destination is down: the message is
      enqueued normally and only dropped at delivery time *)
   Alcotest.(check int) "not dropped at send" 0 (Engine.dropped e);
@@ -115,11 +116,11 @@ let test_engine_inactive_nodes_drop () =
 let test_engine_until_stable () =
   (* a protocol that floods a token at most 5 hops: must stabilise *)
   let e = Engine.create ~rng:(Rng.create 7) 4 in
-  Engine.send e ~src:0 ~dst:1 5;
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 5;
   let result =
     Engine.run_until_stable e ~max_rounds:50 ~step:(fun id inbox ->
         List.iter
-          (fun (_, ttl) -> if ttl > 0 then Engine.send e ~src:id ~dst:((id + 1) mod 4) (ttl - 1))
+          (fun (_, ttl) -> if ttl > 0 then Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:id ~dst:((id + 1) mod 4) (ttl - 1))
           inbox;
         false)
   in
@@ -148,11 +149,11 @@ let test_engine_reactivation () =
      the node is down travels normally and arrives if the node is back
      up by delivery time *)
   let e = Engine.create ~rng:(Rng.create 11) 2 in
-  Engine.send e ~src:0 ~dst:1 "purged";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "purged";
   Engine.set_active e 1 false;
-  Engine.send e ~src:0 ~dst:1 "in transit";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "in transit";
   Engine.set_active e 1 true;
-  Engine.send e ~src:0 ~dst:1 "delivered";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "delivered";
   let got = ref [] in
   let (_ : bool) =
     Engine.run_round e ~step:(fun id inbox ->
@@ -169,8 +170,8 @@ let test_engine_delayed_delivery () =
   let e =
     Engine.create ~edge_delay:(fun ~src:_ ~dst:_ -> 3) ~rng:(Rng.create 12) 2
   in
-  Engine.send e ~src:0 ~dst:1 "first";
-  Engine.send e ~src:0 ~dst:1 "second";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "first";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "second";
   let arrived = ref [] in
   for round = 1 to 4 do
     let (_ : bool) =
@@ -199,7 +200,7 @@ let test_engine_message_conservation () =
         received := !received + List.length inbox;
         if !to_send > 0 && id = 0 then begin
           decr to_send;
-          Engine.send e ~src:0 ~dst:(1 + Rng.int rng 5) ();
+          Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:(1 + Rng.int rng 5) ();
           true
         end
         else false)
@@ -216,8 +217,8 @@ let test_engine_message_conservation () =
 let test_fault_drop_all () =
   let faults = Fault.create ~drop:1.0 ~rng:(Rng.create 20) () in
   let e = Engine.create ~faults ~rng:(Rng.create 21) 2 in
-  Engine.send e ~src:0 ~dst:1 "a";
-  Engine.send e ~src:0 ~dst:1 "b";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "a";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "b";
   let got = ref 0 in
   for _ = 1 to 3 do
     let (_ : bool) =
@@ -237,7 +238,7 @@ let test_fault_drop_all () =
 let test_fault_duplicate_all () =
   let faults = Fault.create ~duplicate:1.0 ~rng:(Rng.create 22) () in
   let e = Engine.create ~faults ~rng:(Rng.create 23) 2 in
-  Engine.send e ~src:0 ~dst:1 "x";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "x";
   let got = ref 0 in
   for _ = 1 to 3 do
     let (_ : bool) =
@@ -254,7 +255,7 @@ let test_fault_jitter_reorders () =
   let faults = Fault.create ~jitter:3 ~rng:(Rng.create 24) () in
   let e = Engine.create ~faults ~rng:(Rng.create 25) 2 in
   for i = 1 to 20 do
-    Engine.send e ~src:0 ~dst:1 i
+    Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 i
   done;
   let got = ref 0 in
   let rounds = ref 0 in
@@ -282,12 +283,12 @@ let test_fault_partition_window () =
     if id = 1 then got := !got @ List.map snd inbox;
     false
   in
-  Engine.send e ~src:0 ~dst:1 "cut";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "cut";
   let (_ : bool) = Engine.run_round e ~step in
-  Engine.send e ~src:0 ~dst:1 "still cut";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "still cut";
   let (_ : bool) = Engine.run_round e ~step in
   (* round 2: the partition has healed *)
-  Engine.send e ~src:0 ~dst:1 "healed";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "healed";
   let (_ : bool) = Engine.run_round e ~step in
   Alcotest.(check (list string)) "only post-heal traffic" [ "healed" ] !got;
   Alcotest.(check int) "partition drops counted" 2 (Fault.partition_dropped faults);
@@ -310,12 +311,12 @@ let test_fault_crash_schedule () =
     if id = 1 then got := !got @ List.map snd inbox;
     false
   in
-  Engine.send e ~src:0 ~dst:1 "in flight at crash";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "in flight at crash";
   let (_ : bool) = Engine.run_round e ~step in
   Alcotest.(check bool) "down during the window" false (Engine.is_active e 1);
-  Engine.send e ~src:0 ~dst:1 "sent while down";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "sent while down";
   let (_ : bool) = Engine.run_round e ~step in
-  Engine.send e ~src:0 ~dst:1 "arrives at restart";
+  Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "arrives at restart";
   let (_ : bool) = Engine.run_round e ~step in
   Alcotest.(check bool) "restarted" true (Engine.is_active e 1);
   Alcotest.(check (list string)) "traffic due at restart is received"
@@ -336,7 +337,7 @@ let test_fault_same_seed_deterministic () =
     let got = ref [] in
     for _ = 1 to 5 do
       for dst = 1 to 3 do
-        Engine.send e ~src:0 ~dst (10 * dst)
+        Engine.send e ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst (10 * dst)
       done;
       let (_ : bool) =
         Engine.run_round e ~step:(fun id inbox ->
@@ -355,7 +356,7 @@ let test_fault_none_is_transparent () =
   let e = Engine.create ~faults:Fault.none ~rng:(Rng.create 30) 2 in
   let e' = Engine.create ~rng:(Rng.create 30) 2 in
   let trace eng =
-    Engine.send eng ~src:0 ~dst:1 "m";
+    Engine.send eng ~kind:Trace.Aggregate ~bytes:8 ~src:0 ~dst:1 "m";
     let got = ref [] in
     let (_ : bool) =
       Engine.run_round eng ~step:(fun id inbox ->
