@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain dune underneath.
 
-.PHONY: all build test bench bench-full bench-index bench-trace restart prop examples clean doc lint lint-json lint-baseline lint-sarif trace metrics analyze trace-analytics
+.PHONY: all build test bench bench-full bench-index bench-trace bench-daemon overload restart prop examples clean doc lint lint-json lint-baseline lint-sarif trace metrics analyze trace-analytics
 
 all: build
 
@@ -63,6 +63,16 @@ bench-index:
 # BENCH_trace_overhead.json, fail if tracing perturbs the send counter
 bench-trace:
 	dune exec bench/main.exe -- --trace-only
+
+# E17 only: daemon offered-load sweep (admission/deadlines/degradation),
+# emit BENCH_daemon.json, fail if goodput collapses past the plateau or a
+# replay diverges
+bench-daemon:
+	dune exec bench/main.exe -- --daemon-only
+
+# E17 via the CLI: prints the sweep table, exits 3 on gate failure
+overload:
+	dune exec bin/bwcluster.exe -- overload
 
 # E15: snapshot round trip (byte-identity checked with cmp) plus the
 # warm-vs-cold restart experiment with its acceptance gate (exit 3)

@@ -362,13 +362,31 @@ let run_micro () =
          [ name; time; Printf.sprintf "%.3f" r2 ])
        rows)
 
+let daemon () =
+  section "Daemon overload sweep  [E17]";
+  let ds =
+    Bwc_dataset.Planetlab.generate ~rng:(Rng.create 5) ~name:"daemon-bench"
+      { Bwc_dataset.Planetlab.hp_target with n = (if full then 96 else 48) }
+  in
+  let out =
+    Bwc_experiments.Overload.run ~ticks:(if full then 600 else 200) ~seed:5 ds
+  in
+  Bwc_experiments.Overload.print out;
+  Bwc_experiments.Overload.save_json out "BENCH_daemon.json";
+  Format.printf "overload sweep written to BENCH_daemon.json@.";
+  match Bwc_experiments.Overload.gate out with
+  | [] -> ()
+  | failures ->
+      List.iter (fun m -> Format.eprintf "E17: %s@." m) failures;
+      exit 1
+
 (* Wall-clock phase profile via Bwc_obs.Span — the opt-in timing layer
    that is deliberately kept out of registries and traces (bench output
    is the one place wall time belongs). *)
 let spans =
   List.map Bwc_obs.Span.create
     [ "fig3"; "fig4"; "fig5"; "fig6"; "ablations"; "restart"; "index-churn";
-      "trace-overhead"; "micro" ]
+      "trace-overhead"; "daemon"; "micro" ]
 
 let timed name f =
   let span = List.find (fun s -> Bwc_obs.Span.name s = name) spans in
@@ -377,10 +395,12 @@ let timed name f =
 (* `bench/main.exe -- --index-only` runs just the E14 churn sweep (the CI
    bench smoke job wants BENCH_index.json without paying for the full
    harness); `--trace-only` likewise runs just the E16 trace-overhead
-   arms and emits BENCH_trace_overhead.json *)
+   arms and emits BENCH_trace_overhead.json; `--daemon-only` just the E17
+   overload sweep and emits BENCH_daemon.json *)
 let index_only = Array.exists (String.equal "--index-only") Sys.argv
 let trace_only = Array.exists (String.equal "--trace-only") Sys.argv
-let fast_path = index_only || trace_only
+let daemon_only = Array.exists (String.equal "--daemon-only") Sys.argv
+let fast_path = index_only || trace_only || daemon_only
 
 let () =
   let t0 = Unix.gettimeofday () in
@@ -394,8 +414,9 @@ let () =
     timed "ablations" ablations;
     timed "restart" restart
   end;
-  if not trace_only then timed "index-churn" index_churn;
-  if not index_only then timed "trace-overhead" trace_overhead;
+  if not (trace_only || daemon_only) then timed "index-churn" index_churn;
+  if not (index_only || daemon_only) then timed "trace-overhead" trace_overhead;
+  if not (index_only || trace_only) then timed "daemon" daemon;
   if not fast_path then timed "micro" run_micro;
   section "Phase profile (wall clock)";
   List.iter (fun s -> Format.printf "%a@." Bwc_obs.Span.pp s) spans;

@@ -6,18 +6,23 @@
 
 open Cmdliner
 
-(* Exit codes (documented in README.md): bad arguments and experiment-gate
-   failures must be distinguishable to CI.
+(* Exit codes (documented in README.md): bad arguments, I/O failures and
+   experiment-gate failures must be distinguishable to CI.
 
      0    success
+     1    an I/O failure (unreadable dataset/trace/snapshot file,
+          unwritable output path)
      3    an experiment's acceptance gate failed (divergence, missed
           speedup target, corrupted arm restored, ...)
      4    `restore` rejected the snapshot and no --cold-fallback was given
      124  bad command line (Cmdliner's cli_error)
 
    Everything that validates user input exits with
-   [Cmd.Exit.cli_error]; everything that checks a result exits with
-   [exit_gate]. *)
+   [Cmd.Exit.cli_error]; everything that touches the filesystem exits
+   with [exit_io] on [Sys_error]; everything that checks a result exits
+   with [exit_gate].  Gate diagnostics go to stderr, never stdout, so
+   piped report output stays parseable. *)
+let exit_io = 1
 let exit_gate = 3
 let exit_snapshot_rejected = 4
 
@@ -36,7 +41,10 @@ let csv_arg =
 let maybe_csv csv save output =
   match csv with
   | Some path ->
-      save output path;
+      (try save output path
+       with Sys_error msg ->
+         Format.eprintf "bwcluster: cannot write %s: %s@." path msg;
+         exit exit_io);
       Format.printf "csv written to %s@." path
   | None -> ()
 
@@ -62,7 +70,11 @@ let load_dataset ~seed name =
         ~rng:(Bwc_stats.Rng.create seed)
         ~name:"UMD-like-small"
         { Bwc_dataset.Planetlab.umd_target with n = 120 }
-  | path -> Bwc_dataset.Dataset.load_csv ~name:(Filename.basename path) path
+  | path -> (
+      try Bwc_dataset.Dataset.load_csv ~name:(Filename.basename path) path
+      with Sys_error msg ->
+        Format.eprintf "bwcluster: cannot read dataset: %s@." msg;
+        exit exit_io)
 
 (* ----- accuracy (E1) ----- *)
 
@@ -397,6 +409,62 @@ let restart_cmd =
       const restart $ seed_arg $ full_arg $ dataset_arg $ hosts_arg $ json
       $ csv_arg)
 
+(* ----- overload (E17) ----- *)
+
+let overload seed full dataset hosts json csv =
+  let ds = subset_hosts ~seed hosts (load_dataset ~seed dataset) in
+  let ds =
+    (* the sweep runs 8 daemon instances (4 loads x 2 replay runs); keep
+       the default system small enough that the arm cost is the scripted
+       load, not index construction *)
+    match hosts with
+    | Some _ -> ds
+    | None ->
+        let cap = if full then 96 else 48 in
+        if Bwc_dataset.Dataset.size ds > cap then
+          Bwc_dataset.Dataset.random_subset ds
+            ~rng:(Bwc_stats.Rng.create seed)
+            cap
+        else ds
+  in
+  let ticks = if full then 600 else 200 in
+  let out = Bwc_experiments.Overload.run ~ticks ~seed ds in
+  Bwc_experiments.Overload.print out;
+  maybe_csv csv Bwc_experiments.Overload.save_csv out;
+  (match json with
+  | Some path ->
+      (try Bwc_experiments.Overload.save_json out path
+       with Sys_error msg ->
+         Format.eprintf "bwcluster: cannot write %s: %s@." path msg;
+         exit exit_io);
+      Format.printf "json written to %s@." path
+  | None -> ());
+  match Bwc_experiments.Overload.gate out with
+  | [] -> ()
+  | failures ->
+      List.iter (fun m -> Format.eprintf "overload gate: %s@." m) failures;
+      exit exit_gate
+
+let overload_cmd =
+  let doc =
+    "E17: the daemon reactor under an offered-load sweep.  Goodput must \
+     plateau at service capacity instead of collapsing, every request must \
+     resolve to exactly one typed response (answer, shed, timeout, or \
+     rejection — never a silent drop), degraded answers must carry an \
+     explicit staleness bound, and same-seed replays must be \
+     byte-identical.  Exits 3 when the acceptance gate fails."
+  in
+  let json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE" ~doc:"Also write the result as JSON.")
+  in
+  Cmd.v (Cmd.info "overload" ~doc)
+    Term.(
+      const overload $ seed_arg $ full_arg $ dataset_arg $ hosts_arg $ json
+      $ csv_arg)
+
 (* ----- snapshot / restore ----- *)
 
 let snapshot seed dataset hosts output =
@@ -427,7 +495,7 @@ let restore seed dataset hosts input resnapshot cold_fallback k b =
     try Bwc_persist.Codec.read_file input
     with Sys_error msg ->
       Format.eprintf "bwcluster: cannot read snapshot: %s@." msg;
-      exit Cmdliner.Cmd.Exit.cli_error
+      exit exit_io
   in
   (* re-snapshot before the proving query: the query draws a submission
      point from the system RNG, and the restored image must stay
@@ -567,8 +635,13 @@ let export_tree seed dataset output =
   let sys = Bwc_core.System.create ~seed ds in
   let fw = Bwc_predtree.Ensemble.primary (Bwc_core.System.framework sys) in
   let write path contents =
-    let oc = open_out path in
-    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc contents)
+    try
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+          output_string oc contents)
+    with Sys_error msg ->
+      Format.eprintf "bwcluster: cannot write %s: %s@." path msg;
+      exit exit_io
   in
   let pred_path = output ^ ".prediction.dot" in
   let anchor_path = output ^ ".anchor.dot" in
@@ -704,9 +777,13 @@ let build_observed ~seed ~dataset ~hosts ~drop ~duplicate ~jitter ~queries =
 let write_or_print output contents =
   match output with
   | Some path ->
-      let oc = open_out path in
-      Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
-          output_string oc contents);
+      (try
+         let oc = open_out path in
+         Fun.protect ~finally:(fun () -> close_out oc) (fun () ->
+             output_string oc contents)
+       with Sys_error msg ->
+         Format.eprintf "bwcluster: cannot write %s: %s@." path msg;
+         exit exit_io);
       Format.printf "wrote %s@." path
   | None -> print_string contents
 
@@ -785,7 +862,7 @@ let analyze seed dataset hosts input json output =
               (fun () -> really_input_string ic (in_channel_length ic))
           with Sys_error msg ->
             Format.eprintf "bwcluster: cannot read %s: %s@." path msg;
-            exit Cmdliner.Cmd.Exit.cli_error
+            exit exit_io
         in
         (match Bwc_obs.Trace.of_jsonl contents with
         | Ok evs -> evs
@@ -840,7 +917,7 @@ let trace_diff left right =
     try Bwc_obs.Trace_diff.diff_files left right
     with Sys_error msg ->
       Format.eprintf "bwcluster: %s@." msg;
-      exit Cmdliner.Cmd.Exit.cli_error
+      exit exit_io
   in
   print_string
     (Bwc_obs.Trace_diff.to_string ~left_name:left ~right_name:right result);
@@ -879,7 +956,7 @@ let trace_analytics seed dataset hosts kinds_csv csv =
          (fun r -> r.Bwc_experiments.Trace_analytics.send_sum_matches)
          out.Bwc_experiments.Trace_analytics.rows)
   then begin
-    Format.printf
+    Format.eprintf
       "GATE FAILED: per-kind send attribution does not sum to the engine \
        counter@.";
     exit exit_gate
@@ -922,6 +999,7 @@ let main_cmd =
       routing_cmd;
       robustness_cmd;
       restart_cmd;
+      overload_cmd;
       snapshot_cmd;
       restore_cmd;
       dynamic_cmd;

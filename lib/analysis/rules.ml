@@ -414,6 +414,70 @@ let no_wall_clock_in_lib =
          profiling or clock by simulation rounds")
     wall_clock_idents
 
+let blocking_io_idents =
+  [
+    "open_in";
+    "open_in_bin";
+    "open_out";
+    "open_out_bin";
+    "input_line";
+    "input_char";
+    "input_byte";
+    "input_value";
+    "really_input_string";
+    "read_line";
+    "read_int";
+    "output_string";
+    "output_char";
+    "output_byte";
+    "output_value";
+    "close_in";
+    "close_out";
+    "stdin";
+    "stdout";
+    "stderr";
+  ]
+
+let no_blocking_io_in_daemon_core =
+  let rec rule =
+    {
+      id = "no-blocking-io-in-daemon-core";
+      severity = Finding.Error;
+      doc =
+        "The daemon core (lib/daemon/) is a pure reactor over injected \
+         ticks and an abstract transport: any Unix.* call, channel \
+         primitive, or std stream there would block the event loop and \
+         break scripted replay determinism.  Sockets, wall clock, and \
+         signals live only in bin/bwclusterd.ml's transport shell; file \
+         IO is delegated to Bwc_persist.";
+      only_paths = [ "lib/daemon/" ];
+      allow_paths = [];
+      check =
+        (fun ~path:_ file ->
+          let acc = ref [] in
+          Ast_scan.scan_exprs file ~f:(fun ~rec_depth:_ e ->
+              match Ast_scan.ident_path e with
+              | Some (("Unix" | "In_channel" | "Out_channel") :: _ :: _ as p)
+                ->
+                  acc :=
+                    finding rule e
+                      (Ast_scan.dotted p
+                      ^ " blocks the reactor; keep real IO in the \
+                         bin/bwclusterd transport shell or Bwc_persist")
+                    :: !acc
+              | Some p when List.mem (Ast_scan.dotted p) blocking_io_idents ->
+                  acc :=
+                    finding rule e
+                      (Ast_scan.dotted p
+                      ^ " is a blocking channel primitive; the daemon core \
+                         must stay transport-abstract")
+                    :: !acc
+              | _ -> ());
+          !acc);
+    }
+  in
+  rule
+
 (* ----- observability rules ----- *)
 
 let no_unlabelled_send =
@@ -496,6 +560,7 @@ let all =
     no_quadratic_append;
     no_print_in_lib;
     no_wall_clock_in_lib;
+    no_blocking_io_in_daemon_core;
     no_unlabelled_send;
     naked_failwith;
     no_obj_magic;

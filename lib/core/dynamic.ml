@@ -23,15 +23,17 @@ let install_evict_hook t =
       | Some _ | None -> ())
 
 let create ?(seed = 1) ?(c = Bwc_metric.Bandwidth.default_c) ?n_cut ?(class_count = 8)
-    ?ensemble_size ?initial_members dataset =
+    ?ensemble_size ?initial_members ?detector ?metrics ?trace dataset =
   let rng = Rng.create seed in
   let space = Dataset.metric ~c dataset in
   let fw =
     Ensemble.build ~rng:(Rng.split rng) ?size:ensemble_size ?members:initial_members
-      space
+      ?metrics space
   in
   let classes = Classes.of_percentiles ~c ~count:class_count dataset in
-  let protocol = Protocol.create ~rng:(Rng.split rng) ?n_cut ~classes fw in
+  let protocol =
+    Protocol.create ~rng:(Rng.split rng) ?n_cut ?detector ?metrics ?trace ~classes fw
+  in
   let (_ : int) = Protocol.run_aggregation protocol in
   let t =
     {
@@ -110,8 +112,11 @@ let leave t h =
   let (_ : int) = stabilize t in
   ()
 
-let apply t events =
-  let changed = ref false in
+(* membership + index deltas only, no restabilisation: the daemon's
+   deferred path, where aggregation work is budgeted across ticks and a
+   storm of events must not block behind reconvergence *)
+let apply_deferred t events =
+  let applied = ref 0 in
   List.iter
     (fun ev ->
       match ev with
@@ -119,16 +124,19 @@ let apply t events =
           if not (is_member t h) then begin
             Ensemble.add_host ~rng:(Rng.split t.rng) t.fw h;
             index_join t h;
-            changed := true
+            incr applied
           end
       | Bwc_sim.Churn.Leave h ->
           if is_member t h && member_count t > 1 then begin
             Ensemble.remove_host ~rng:(Rng.split t.rng) t.fw h;
             index_leave t h;
-            changed := true
+            incr applied
           end)
     events;
-  if !changed then begin
+  !applied
+
+let apply t events =
+  if apply_deferred t events > 0 then begin
     let (_ : int) = stabilize t in
     ()
   end

@@ -26,9 +26,16 @@ val create :
   ?class_count:int ->
   ?ensemble_size:int ->
   ?initial_members:int list ->
+  ?detector:Detector.config ->
+  ?metrics:Bwc_obs.Registry.t ->
+  ?trace:Bwc_obs.Trace.t ->
   Bwc_dataset.Dataset.t ->
   t
-(** [initial_members] defaults to all hosts of the dataset. *)
+(** [initial_members] defaults to all hosts of the dataset.
+    [detector]/[metrics]/[trace] are threaded into the underlying
+    {!Protocol.create} (and [metrics] into the ensemble build), so a
+    long-running host such as [bwclusterd] observes the whole stack
+    through one registry and one trace sink. *)
 
 val assemble :
   dataset:Bwc_dataset.Dataset.t ->
@@ -73,6 +80,16 @@ val apply : t -> Bwc_sim.Churn.event list -> unit
 (** Applies a batch of joins/leaves, restabilising once at the end —
     events for hosts already in the requested state are ignored, so
     schedules generated independently of the current state are safe. *)
+
+val apply_deferred : t -> Bwc_sim.Churn.event list -> int
+(** Like {!apply} but {e without} restabilising: membership and the
+    maintained index are updated by delta, and the aggregation protocol
+    is left stale until the caller runs {!stabilize} (or budgets rounds
+    itself via {!Protocol.refresh_topology} + {!Protocol.run_round}).
+    Returns the number of events actually applied (no-ops are skipped
+    exactly as in {!apply}).  This is the daemon's deferred path:
+    cluster answers from the index stay membership-fresh while
+    reconvergence proceeds in bounded background steps. *)
 
 val run_scenario :
   t -> churn:Bwc_sim.Churn.t -> rounds:int -> on_round:(int -> t -> unit) -> unit

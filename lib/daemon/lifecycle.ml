@@ -1,0 +1,60 @@
+(* Daemon lifecycle: warm boot over rotated snapshot generations,
+   periodic rotation, drain-then-snapshot shutdown.
+
+   All file IO lives in Bwc_persist (Codec's atomic temp-and-rename
+   write, Snapshot.rotate/load_any); this module only orchestrates, so
+   lib/daemon stays free of blocking IO primitives (enforced by the
+   no-blocking-io-in-daemon-core lint rule). *)
+
+module Dynamic = Bwc_core.Dynamic
+module Snapshot = Bwc_persist.Snapshot
+module Codec = Bwc_persist.Codec
+module Registry = Bwc_obs.Registry
+
+type boot = {
+  system : Dynamic.t;
+  warm : bool;
+  generation : int option;  (* which rotated image restored, when warm *)
+  rejected : (int * Codec.error) list;  (* generations that failed verification *)
+}
+
+let bump metrics name =
+  match metrics with
+  | Some m -> Registry.Counter.incr (Registry.counter m name)
+  | None -> ()
+
+let boot ?metrics ?trace ?keep ~path ~cold () =
+  match Snapshot.load_any ?metrics ?trace ?keep path with
+  | Ok (Snapshot.Restored_dynamic dyn, g) ->
+      { system = dyn; warm = true; generation = Some g; rejected = [] }
+  | Ok (Snapshot.Restored_system _, g) ->
+      (* wrong snapshot kind: a static System image cannot serve churn;
+         treat it like any other rejected generation *)
+      bump metrics "persist.cold_starts";
+      {
+        system = cold ();
+        warm = false;
+        generation = None;
+        rejected = [ (g, Codec.Corrupt "snapshot holds a static system, not a dynamic one") ];
+      }
+  | Error rejected ->
+      bump metrics "persist.cold_starts";
+      { system = cold (); warm = false; generation = None; rejected }
+
+let snapshot ?metrics ?trace ?keep ~path dyn =
+  let bytes = Snapshot.encode ?metrics ?trace (`Dynamic dyn) in
+  match Snapshot.rotate ?metrics ?keep ~path bytes with
+  | Ok () -> Ok (String.length bytes)
+  | Error e -> Error e
+
+let drain_and_snapshot ?metrics ?trace ?keep ?(max_ticks = 10_000) ~path ~now
+    ~on_output reactor =
+  Reactor.drain reactor ~now;
+  let tick = ref now in
+  while (not (Reactor.drained reactor)) && !tick - now < max_ticks do
+    incr tick;
+    List.iter on_output (Reactor.tick reactor ~now:!tick)
+  done;
+  match snapshot ?metrics ?trace ?keep ~path (Reactor.system reactor) with
+  | Ok bytes -> Ok (!tick, bytes)
+  | Error e -> Error e

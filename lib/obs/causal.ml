@@ -215,7 +215,13 @@ let analyze events =
       | Trace.Quiesce { round }
       | Trace.Snapshot_write { round; _ }
       | Trace.Restore { round; _ }
-      | Trace.Restore_rejected { round; _ } ->
+      | Trace.Restore_rejected { round; _ }
+      | Trace.Daemon_admit { round; _ }
+      | Trace.Daemon_shed { round; _ }
+      | Trace.Daemon_timeout { round; _ }
+      | Trace.Daemon_degrade { round; _ }
+      | Trace.Daemon_retry { round; _ }
+      | Trace.Daemon_watchdog { round; _ } ->
           if round > !last_round then last_round := round);
       match ev with
       | Trace.Send { round; kind; bytes; src; dst; _ } ->

@@ -81,6 +81,12 @@ type event =
   | Snapshot_write of { round : int; bytes : int }
   | Restore of { round : int; warm : bool }
   | Restore_rejected of { round : int; reason : string }
+  | Daemon_admit of { round : int; cls : string; conn : int }
+  | Daemon_shed of { round : int; cls : string; reason : string }
+  | Daemon_timeout of { round : int; waited : int; deadline : int }
+  | Daemon_degrade of { round : int; entered : bool; staleness : int }
+  | Daemon_retry of { round : int; cls : string; attempt : int; due : int }
+  | Daemon_watchdog of { round : int; pending : bool; stalled : int }
 
 type t = {
   capacity : int option;
@@ -117,6 +123,20 @@ let cause_of_string = function
   | "dead_dst" -> Some Dead_dst
   | "purge" -> Some Purge
   | _ -> None
+
+let escape_string s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
 
 let event_to_json = function
   | Round_start { round } -> Printf.sprintf "{\"ev\":\"round_start\",\"round\":%d}" round
@@ -158,19 +178,31 @@ let event_to_json = function
   | Restore { round; warm } ->
       Printf.sprintf "{\"ev\":\"restore\",\"round\":%d,\"warm\":%b}" round warm
   | Restore_rejected { round; reason } ->
-      let buf = Buffer.create (String.length reason + 8) in
-      String.iter
-        (fun ch ->
-          match ch with
-          | '"' -> Buffer.add_string buf "\\\""
-          | '\\' -> Buffer.add_string buf "\\\\"
-          | '\n' -> Buffer.add_string buf "\\n"
-          | c when Char.code c < 0x20 ->
-              Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-          | c -> Buffer.add_char buf c)
-        reason;
       Printf.sprintf "{\"ev\":\"restore_rejected\",\"round\":%d,\"reason\":\"%s\"}" round
-        (Buffer.contents buf)
+        (escape_string reason)
+  | Daemon_admit { round; cls; conn } ->
+      Printf.sprintf "{\"ev\":\"daemon_admit\",\"round\":%d,\"cls\":\"%s\",\"conn\":%d}"
+        round (escape_string cls) conn
+  | Daemon_shed { round; cls; reason } ->
+      Printf.sprintf
+        "{\"ev\":\"daemon_shed\",\"round\":%d,\"cls\":\"%s\",\"reason\":\"%s\"}" round
+        (escape_string cls) (escape_string reason)
+  | Daemon_timeout { round; waited; deadline } ->
+      Printf.sprintf
+        "{\"ev\":\"daemon_timeout\",\"round\":%d,\"waited\":%d,\"deadline\":%d}" round
+        waited deadline
+  | Daemon_degrade { round; entered; staleness } ->
+      Printf.sprintf
+        "{\"ev\":\"daemon_degrade\",\"round\":%d,\"entered\":%b,\"staleness\":%d}" round
+        entered staleness
+  | Daemon_retry { round; cls; attempt; due } ->
+      Printf.sprintf
+        "{\"ev\":\"daemon_retry\",\"round\":%d,\"cls\":\"%s\",\"attempt\":%d,\"due\":%d}"
+        round (escape_string cls) attempt due
+  | Daemon_watchdog { round; pending; stalled } ->
+      Printf.sprintf
+        "{\"ev\":\"daemon_watchdog\",\"round\":%d,\"pending\":%b,\"stalled\":%d}" round
+        pending stalled
 
 let to_jsonl t =
   let buf = Buffer.create 4096 in
@@ -368,6 +400,35 @@ let event_of_json line =
       | Some "restore_rejected" -> (
           match (int "round", str "reason") with
           | Some round, Some reason -> Some (Restore_rejected { round; reason })
+          | _ -> None)
+      | Some "daemon_admit" -> (
+          match (int "round", str "cls", int "conn") with
+          | Some round, Some cls, Some conn -> Some (Daemon_admit { round; cls; conn })
+          | _ -> None)
+      | Some "daemon_shed" -> (
+          match (int "round", str "cls", str "reason") with
+          | Some round, Some cls, Some reason ->
+              Some (Daemon_shed { round; cls; reason })
+          | _ -> None)
+      | Some "daemon_timeout" -> (
+          match (int "round", int "waited", int "deadline") with
+          | Some round, Some waited, Some deadline ->
+              Some (Daemon_timeout { round; waited; deadline })
+          | _ -> None)
+      | Some "daemon_degrade" -> (
+          match (int "round", bool "entered", int "staleness") with
+          | Some round, Some entered, Some staleness ->
+              Some (Daemon_degrade { round; entered; staleness })
+          | _ -> None)
+      | Some "daemon_retry" -> (
+          match (int "round", str "cls", int "attempt", int "due") with
+          | Some round, Some cls, Some attempt, Some due ->
+              Some (Daemon_retry { round; cls; attempt; due })
+          | _ -> None)
+      | Some "daemon_watchdog" -> (
+          match (int "round", bool "pending", int "stalled") with
+          | Some round, Some pending, Some stalled ->
+              Some (Daemon_watchdog { round; pending; stalled })
           | _ -> None)
       | Some _ | None -> None)
 

@@ -92,6 +92,28 @@ type event =
   | Restore_rejected of { round : int; reason : string }
       (** a snapshot failed verification (checksum/version/decode) and
           was discarded; a cold start follows *)
+  | Daemon_admit of { round : int; cls : string; conn : int }
+      (** the daemon reactor admitted a request of class [cls]
+          (["churn"], ["query"] or ["meas"]) from connection [conn];
+          [round] is the reactor tick, the daemon's logical clock *)
+  | Daemon_shed of { round : int; cls : string; reason : string }
+      (** admission refused a request (["queue_full"], ["rate_limit"],
+          ["pressure"] or ["draining"]); the client got a typed SHED
+          response, never a silent drop *)
+  | Daemon_timeout of { round : int; waited : int; deadline : int }
+      (** a queued query exceeded its deadline budget before the reactor
+          reached it and was answered with a typed TIMEOUT *)
+  | Daemon_degrade of { round : int; entered : bool; staleness : int }
+      (** the reactor entered ([entered = true]) or left degraded mode;
+          while degraded, queries are served from the last consistent
+          index with the given staleness bound (ticks) *)
+  | Daemon_retry of { round : int; cls : string; attempt : int; due : int }
+      (** a failed ingestion was scheduled for retry number [attempt]
+          with jittered exponential backoff, due at tick [due] *)
+  | Daemon_watchdog of { round : int; pending : bool; stalled : int }
+      (** the watchdog fired: convergence has been stalled for [stalled]
+          ticks; [pending] is whether the failure detector also reports
+          overdue heartbeats ({!Bwc_core.Detector.pending}) *)
 
 type t
 (** A sink. *)

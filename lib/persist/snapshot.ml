@@ -550,6 +550,46 @@ let save ?metrics ?trace src path =
 
 let load ?metrics ?trace path = decode ?metrics ?trace (Codec.read_file path)
 
+(* ----- rotated generations -----
+
+   [path] is the newest image, [path.1] the previous one, ... up to
+   [path.(keep-1)].  Rotation refuses bytes that fail container
+   verification before touching the chain, so a buggy caller can never
+   push the only valid image off the end with garbage. *)
+
+let gen_path path g = if g = 0 then path else Printf.sprintf "%s.%d" path g
+
+let rotate ?metrics ?(keep = 3) ~path bytes =
+  if keep < 1 then invalid_arg "Snapshot.rotate: keep < 1";
+  match Codec.decode bytes with
+  | Error e ->
+      bump metrics "persist.rotate_rejected";
+      Error e
+  | Ok (_ : string) ->
+      for g = keep - 2 downto 0 do
+        let src = gen_path path g and dst = gen_path path (g + 1) in
+        if Sys.file_exists src then Sys.rename src dst
+      done;
+      Codec.write_file path bytes;
+      bump metrics "persist.rotations";
+      Ok ()
+
+let load_any ?metrics ?trace ?(keep = 3) path =
+  if keep < 1 then invalid_arg "Snapshot.load_any: keep < 1";
+  let rec go g errs =
+    if g >= keep then Error (List.rev errs)
+    else
+      let p = gen_path path g in
+      if not (Sys.file_exists p) then go (g + 1) errs
+      else
+        match load ?metrics ?trace p with
+        | Ok restored ->
+            if g > 0 then bump metrics "persist.generation_fallbacks";
+            Ok (restored, g)
+        | Error e -> go (g + 1) ((g, e) :: errs)
+  in
+  go 0 []
+
 let restore_or_cold ?metrics ?trace ~cold bytes =
   match decode ?metrics ?trace bytes with
   | Ok restored -> (restored, `Warm)

@@ -73,5 +73,42 @@ val restore_or_cold :
     reconvergence) and reports why.  Counts [persist.cold_starts] and
     emits [Restore {warm = false}] on the fallback path. *)
 
+val gen_path : string -> int -> string
+(** [gen_path path g] is the on-disk name of generation [g]: [path]
+    itself for [g = 0] (the newest image), ["path.g"] otherwise. *)
+
+val rotate :
+  ?metrics:Bwc_obs.Registry.t ->
+  ?keep:int ->
+  path:string ->
+  string ->
+  (unit, Codec.error) result
+(** [rotate ~keep ~path bytes] installs [bytes] as the newest snapshot
+    image after shifting existing generations one slot down, retaining
+    the last [keep] (default 3) images: [path], [path.1], ...,
+    [path.(keep - 1)].  The oldest image falls off the end.
+
+    Safety: [bytes] is container-verified (magic, version, length,
+    CRC-32) {e before} anything on disk moves, and a verification
+    failure is returned without touching the chain — rotation can never
+    replace the only valid image with garbage.  The final write itself
+    goes through {!Codec.write_file} (atomic temp-and-rename).  Counts
+    [persist.rotations] / [persist.rotate_rejected].  Raises
+    [Invalid_argument] if [keep < 1]. *)
+
+val load_any :
+  ?metrics:Bwc_obs.Registry.t ->
+  ?trace:Bwc_obs.Trace.t ->
+  ?keep:int ->
+  string ->
+  (restored * int, (int * Codec.error) list) result
+(** Walk the rotated generations newest-first and restore the first
+    image that verifies; [Ok (restored, g)] names the generation that
+    won.  Missing files are skipped silently; existing-but-rejected
+    generations are reported (with their index) in the [Error] list
+    when every generation fails — an empty list means no generation
+    exists at all.  A successful fallback past generation 0 counts
+    [persist.generation_fallbacks]. *)
+
 val restored_protocol : restored -> Bwc_core.Protocol.t
 val restored_round : restored -> int

@@ -347,10 +347,116 @@ let causal_dag () =
   Printf.printf "%s: %d cases, %d messages, %d causal edges, all HB facts hold [ok]\n"
     prop n_cases !msgs_total !edges_total
 
+(* 5. daemon-replay — the reactor behind bwclusterd is a pure function
+   of (seed, script): running the same random request script through
+   two freshly built reactors yields byte-identical transcripts AND
+   byte-identical trace JSONL, and every well-formed request resolves
+   to exactly one typed response (answer, ack, shed, timeout, or
+   rejection — never a silent drop). *)
+
+let daemon_replay () =
+  let prop = "daemon-replay" in
+  let n_cases = Stdlib.max 1 (cases / 20) in
+  let module Reactor = Bwc_daemon.Reactor in
+  let module Script = Bwc_daemon.Script in
+  let module Wire = Bwc_daemon.Wire in
+  let requests_total = ref 0 in
+  let responses_total = ref 0 in
+  for case = 0 to n_cases - 1 do
+    let rng = case_rng case in
+    let n = 10 + Rng.int rng 8 in
+    let ticks = 4 + Rng.int rng 8 in
+    let per_tick = 2 + Rng.int rng 6 in
+    let script =
+      List.concat
+        (List.init ticks (fun at ->
+             List.init per_tick (fun i ->
+                 let id = Printf.sprintf "r%d_%d" at i in
+                 let line =
+                   match Rng.int rng 12 with
+                   | 0 | 1 | 2 | 3 ->
+                       Printf.sprintf "QUERY %s k=%d b=%f deadline=%d" id
+                         (2 + Rng.int rng 3)
+                         (1. +. Rng.float rng 40.)
+                         (4 + Rng.int rng 20)
+                   | 4 | 5 | 6 | 7 ->
+                       Printf.sprintf "MEAS %s src=%d dst=%d bw=%f" id
+                         (Rng.int rng n) (Rng.int rng n)
+                         (1. +. Rng.float rng 80.)
+                   | 8 -> Printf.sprintf "JOIN %s host=%d" id (Rng.int rng n)
+                   | 9 -> Printf.sprintf "LEAVE %s host=%d" id (Rng.int rng n)
+                   | 10 -> Printf.sprintf "PING stray=%s" id
+                   | _ -> Printf.sprintf "BOGUS %s" id
+                 in
+                 Script.line ~at ~conn:(Rng.int rng 3) line)))
+    in
+    let sys_seed = (seed * 7) + case in
+    let config =
+      {
+        Reactor.default_config with
+        Reactor.ingest_fail = 0.2;
+        stabilize_budget = 2;
+        seed = sys_seed;
+      }
+    in
+    let run () =
+      let trace = Bwc_obs.Trace.create () in
+      let dataset =
+        Bwc_dataset.Planetlab.generate ~rng:(Rng.create sys_seed)
+          ~name:"prop-daemon" { Bwc_dataset.Planetlab.hp_target with n }
+      in
+      let dyn = Bwc_core.Dynamic.create ~seed:sys_seed dataset in
+      let reactor = Reactor.create ~trace config dyn in
+      let events = Script.run reactor script in
+      if not (Reactor.drained reactor) then
+        fail_case prop case "reactor failed to drain";
+      (events, Script.transcript events, Bwc_obs.Trace.to_jsonl trace)
+    in
+    let events, t1, tr1 = run () in
+    let _, t2, tr2 = run () in
+    if not (String.equal t1 t2) then
+      fail_case prop case "replay transcripts differ (%d vs %d bytes)"
+        (String.length t1) (String.length t2);
+    if not (String.equal tr1 tr2) then
+      fail_case prop case "replay traces differ (%d vs %d bytes)"
+        (String.length tr1) (String.length tr2);
+    (* 1:1 accounting: every request id gets exactly one response *)
+    let counts = Hashtbl.create 64 in
+    List.iter
+      (fun (e : Script.event) ->
+        match e.Script.response with
+        | Wire.Answer { id; _ }
+        | Wire.Acked { id; _ }
+        | Wire.Shed { id; _ }
+        | Wire.Timeout { id; _ }
+        | Wire.Rejected { id; _ } ->
+            incr responses_total;
+            Hashtbl.replace counts id
+              (1 + Option.value ~default:0 (Hashtbl.find_opt counts id))
+        | _ -> ())
+      events;
+    List.iter
+      (fun (e : Script.entry) ->
+        match String.split_on_char ' ' e.Script.line with
+        | verb :: id :: _
+          when List.mem verb [ "QUERY"; "MEAS"; "JOIN"; "LEAVE" ] -> (
+            incr requests_total;
+            match Hashtbl.find_opt counts id with
+            | Some 1 -> ()
+            | Some k -> fail_case prop case "request %s answered %d times" id k
+            | None -> fail_case prop case "request %s silently dropped" id)
+        | _ -> ())
+      script
+  done;
+  Printf.printf
+    "%s: %d cases, %d requests, %d typed responses, replays byte-identical [ok]\n"
+    prop n_cases !requests_total !responses_total
+
 let () =
   Printf.printf "bwc property harness (seed %d, %d churn sequences)\n" seed cases;
   churn_differential ();
   oracle_tree ();
   oracle_noisy ();
   causal_dag ();
+  daemon_replay ();
   Printf.printf "all properties hold\n"

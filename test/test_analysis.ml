@@ -97,6 +97,29 @@ let test_no_wall_clock_in_lib () =
     (rule_ids
        (lint ~path:"bench/fixture.ml" "let now () = Unix.gettimeofday ()\n"))
 
+let test_no_blocking_io_in_daemon_core () =
+  check_single_finding "Unix syscall in daemon core"
+    ~path:"lib/daemon/reactor.ml" ~rule:"no-blocking-io-in-daemon-core"
+    "let f fd buf = Unix.read fd buf 0 10\n";
+  check_single_finding "In_channel in daemon core"
+    ~path:"lib/daemon/lifecycle.ml" ~rule:"no-blocking-io-in-daemon-core"
+    "let f path = In_channel.with_open_bin path (fun ic -> ic)\n";
+  check_single_finding "channel primitive in daemon core"
+    ~path:"lib/daemon/wire.ml" ~rule:"no-blocking-io-in-daemon-core"
+    "let f ic = input_line ic\n";
+  (* the transport shell owns the sockets: bin/ is exempt *)
+  Alcotest.(check (list string))
+    "bwclusterd transport may use Unix" []
+    (rule_ids
+       (lint ~path:"bin/bwclusterd.ml"
+          "let f fd buf = Unix.read fd buf 0 10\n"));
+  (* and other libraries are governed by their own rules, not this one *)
+  Alcotest.(check (list string))
+    "persist file IO untouched by the daemon rule" []
+    (rule_ids
+       (lint ~path:"lib/persist/fixture.ml"
+          "let f path = In_channel.with_open_bin path In_channel.input_all\n"))
+
 let test_naked_failwith () =
   check_single_finding "unprefixed failwith" ~rule:"naked-failwith"
     "let f () = failwith \"boom\"\n";
@@ -685,6 +708,7 @@ let test_rule_catalog_complete () =
       "no-quadratic-append";
       "no-print-in-lib";
       "no-wall-clock-in-lib";
+      "no-blocking-io-in-daemon-core";
       "naked-failwith";
       "no-obj-magic";
       "no-marshal";
@@ -717,6 +741,8 @@ let () =
           Alcotest.test_case "no-quadratic-append" `Quick test_no_quadratic_append;
           Alcotest.test_case "no-print-in-lib" `Quick test_no_print_in_lib;
           Alcotest.test_case "no-wall-clock-in-lib" `Quick test_no_wall_clock_in_lib;
+          Alcotest.test_case "no-blocking-io-in-daemon-core" `Quick
+            test_no_blocking_io_in_daemon_core;
           Alcotest.test_case "naked-failwith" `Quick test_naked_failwith;
           Alcotest.test_case "no-obj-magic" `Quick test_no_obj_magic;
           Alcotest.test_case "no-marshal" `Quick test_no_marshal;

@@ -283,6 +283,90 @@ let test_save_load_file () =
         (String.equal (Snapshot.encode (`System sys))
            (Snapshot.encode (`System restored))))
 
+(* ----- rotation ----- *)
+
+let with_rotation_chain f =
+  let path = Filename.temp_file "bwcsnap_rot" ".snap" in
+  (* temp_file pre-creates an empty file; we only want the fresh name,
+     otherwise rotate correctly shifts the empty image into gen 1 *)
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun g ->
+          let p = Snapshot.gen_path path g in
+          try Sys.remove p with Sys_error _ -> ())
+        [ 0; 1; 2; 3 ])
+    (fun () -> f path)
+
+let test_rotate_never_displaces_valid_image () =
+  with_rotation_chain (fun path ->
+      let sys = system ~seed:51 () in
+      let good = Snapshot.encode (`System sys) in
+      (match Snapshot.rotate ~keep:3 ~path good with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "rotate: %s" (Codec.error_to_string e));
+      (* garbage is refused up front: the chain must not shift and the
+         only valid image must survive untouched *)
+      (match Snapshot.rotate ~keep:3 ~path "garbage, not a container" with
+      | Error Codec.Bad_magic -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Codec.error_to_string e)
+      | Ok () -> Alcotest.fail "rotate accepted garbage");
+      Alcotest.(check bool) "valid image still newest" true
+        (String.equal good (Codec.read_file path));
+      Alcotest.(check bool) "no spurious generation 1" false
+        (Sys.file_exists (Snapshot.gen_path path 1)))
+
+let test_rotate_fallback_across_generations () =
+  with_rotation_chain (fun path ->
+      (* three distinct generations, newest last *)
+      let images =
+        List.map
+          (fun seed -> Snapshot.encode (`System (system ~seed ())))
+          [ 61; 62; 63 ]
+      in
+      List.iter
+        (fun img ->
+          match Snapshot.rotate ~keep:3 ~path img with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "rotate: %s" (Codec.error_to_string e))
+        images;
+      (* on-disk: gen 0 = seed 63, gen 1 = seed 62, gen 2 = seed 61 *)
+      let metrics = Registry.create () in
+      (match Snapshot.load_any ~metrics ~keep:3 path with
+      | Ok (r, 0) ->
+          Alcotest.(check bool) "newest wins when intact" true
+            (String.equal (List.nth images 2)
+               (Snapshot.encode (`System (unwrap_system r))))
+      | Ok (_, g) -> Alcotest.failf "wrong generation %d" g
+      | Error _ -> Alcotest.fail "load_any failed on intact chain");
+      (* corrupt the two newest generations with different modes: the
+         restore must walk past both and land on generation 2 *)
+      let rng = Rng.create 17 in
+      Codec.write_file path
+        (Fault.corrupt_snapshot ~rng (Fault.Flip_bits 11) (Codec.read_file path));
+      let g1 = Snapshot.gen_path path 1 in
+      Codec.write_file g1
+        (Fault.corrupt_snapshot ~rng Fault.Stale_version (Codec.read_file g1));
+      (match Snapshot.load_any ~metrics ~keep:3 path with
+      | Ok (r, 2) ->
+          Alcotest.(check bool) "oldest generation restores" true
+            (String.equal (List.nth images 0)
+               (Snapshot.encode (`System (unwrap_system r))))
+      | Ok (_, g) -> Alcotest.failf "restored wrong generation %d" g
+      | Error _ -> Alcotest.fail "fallback generation not restored");
+      Alcotest.(check int) "fallback counted" 1
+        (Registry.get (Registry.snapshot metrics) "persist.generation_fallbacks");
+      (* corrupt the last one too: every generation reports a typed error *)
+      let g2 = Snapshot.gen_path path 2 in
+      Codec.write_file g2
+        (Fault.corrupt_snapshot ~rng (Fault.Truncate 30) (Codec.read_file g2));
+      match Snapshot.load_any ~keep:3 path with
+      | Ok _ -> Alcotest.fail "restored from a fully corrupt chain"
+      | Error rejected ->
+          Alcotest.(check (list int)) "every generation reported" [ 0; 1; 2 ]
+            (List.map fst rejected))
+
 (* ----- chaos harness ----- *)
 
 let test_chaos_schedule () =
@@ -368,6 +452,10 @@ let () =
           Alcotest.test_case "mid-convergence crash" `Quick test_snapshot_mid_convergence;
           Alcotest.test_case "detector mid-lease" `Quick test_snapshot_detector_mid_lease;
           Alcotest.test_case "save/load file" `Quick test_save_load_file;
+          Alcotest.test_case "rotate refuses garbage" `Quick
+            test_rotate_never_displaces_valid_image;
+          Alcotest.test_case "rotate fallback chain" `Quick
+            test_rotate_fallback_across_generations;
         ] );
       ( "degradation",
         [
