@@ -146,13 +146,15 @@ let treeness_cmd =
 
 (* ----- scalability (E5) ----- *)
 
-let scalability seed full dataset churn json csv =
+let scalability seed full dataset churn coreset_k json csv =
   if churn then begin
-    let sizes = if full then [ 64; 128; 256; 384 ] else [ 64; 128; 256 ] in
+    let sizes =
+      if full then [ 64; 128; 256; 384; 1024; 4096 ] else [ 64; 128; 256 ]
+    in
     let rows =
       Bwc_experiments.Scalability.churn_sweep ~sizes
         ~events_per_size:(if full then 32 else 16)
-        ~seed ()
+        ~coreset_k ~seed ()
     in
     Bwc_experiments.Scalability.print_churn rows;
     (match json with
@@ -163,6 +165,11 @@ let scalability seed full dataset churn json csv =
     let diverged = Bwc_experiments.Scalability.churn_divergence rows in
     if diverged > 0 then begin
       Format.eprintf "churn sweep: %d differential divergences@." diverged;
+      exit exit_gate
+    end;
+    let violations = Bwc_experiments.Scalability.churn_bound_violations rows in
+    if violations > 0 then begin
+      Format.eprintf "churn sweep: %d coreset bound violations@." violations;
       exit exit_gate
     end
   end
@@ -190,8 +197,16 @@ let scalability_cmd =
       & info [ "churn" ]
           ~doc:
             "Run the E14 churn sweep instead: incremental index maintenance \
-             vs rebuild-from-scratch, with differential checking (exits \
-             non-zero on any divergence).")
+             vs rebuild-from-scratch plus the approximate coreset arm, with \
+             differential and certified-interval checking (exits non-zero \
+             on any divergence or bound violation).")
+  in
+  let coreset_k =
+    Arg.(
+      value
+      & opt int Bwc_core.Find_cluster.Coreset.default_k
+      & info [ "coreset-k" ] ~docv:"K"
+          ~doc:"With $(b,--churn): per-subtree coreset summary size.")
   in
   let json =
     Arg.(
@@ -202,7 +217,9 @@ let scalability_cmd =
   in
   Cmd.v
     (Cmd.info "scalability" ~doc)
-    Term.(const scalability $ seed_arg $ full_arg $ dataset_arg $ churn $ json $ csv_arg)
+    Term.(
+      const scalability $ seed_arg $ full_arg $ dataset_arg $ churn $ coreset_k
+      $ json $ csv_arg)
 
 (* ----- embedding ablation (E8) ----- *)
 

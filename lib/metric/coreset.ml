@@ -1,0 +1,239 @@
+type rep = {
+  host : int;
+  weight : int;
+  radius : float;
+}
+
+type t = {
+  k : int;
+  reps : rep array; (* sorted by host, hosts distinct *)
+}
+
+type interval = { lo : int; hi : int }
+
+let k t = t.k
+let size t = Array.length t.reps
+let weight t = Array.fold_left (fun acc r -> acc + r.weight) 0 t.reps
+let reps t = Array.copy t.reps
+let hosts t = Array.to_list (Array.map (fun r -> r.host) t.reps)
+
+let rep_equal a b =
+  a.host = b.host && a.weight = b.weight && Float.equal a.radius b.radius
+
+let equal a b =
+  a.k = b.k
+  && Array.length a.reps = Array.length b.reps
+  && (let ok = ref true in
+      Array.iteri (fun i r -> if not (rep_equal r b.reps.(i)) then ok := false) a.reps;
+      !ok)
+
+let by_host a b = compare (a.host : int) b.host
+
+let check_distinct reps =
+  Array.iteri
+    (fun i r ->
+      if i > 0 && reps.(i - 1).host = r.host then
+        invalid_arg "Coreset: duplicate host")
+    reps
+
+(* Deterministic farthest-point (Gonzalez) reduction of a set of weighted
+   representatives down to [k].  [pts] is sorted by host.  The first centre
+   is the heaviest representative (ties to the smallest host); each further
+   centre maximises distance-to-nearest-centre plus its own radius, so a
+   far-flung summarised ball cannot hide behind a nearby representative.
+   Dropped representatives are absorbed by their nearest centre, whose
+   radius grows to [d(p, centre) + radius p] — still a valid covering
+   radius for every point [p] stood for. *)
+let reduce (space : Space.t) ~k pts =
+  let n = Array.length pts in
+  if n <= k then pts
+  else begin
+    let is_center = Array.make n false in
+    let centers = Array.make k 0 in
+    let first = ref 0 in
+    for i = 1 to n - 1 do
+      if pts.(i).weight > pts.(!first).weight then first := i
+    done;
+    centers.(0) <- !first;
+    is_center.(!first) <- true;
+    (* nearest-centre distance (centre index, distance); ties on distance
+       resolve to the earlier (smaller-host) centre because updates are
+       strict improvements only. *)
+    let d2c = Array.make n infinity in
+    let assign = Array.make n !first in
+    let relax c =
+      let ch = pts.(c).host in
+      for i = 0 to n - 1 do
+        if not is_center.(i) then begin
+          let d = space.Space.dist pts.(i).host ch in
+          let cmp = Float.compare d d2c.(i) in
+          if cmp < 0 || (cmp = 0 && pts.(c).host < pts.(assign.(i)).host) then begin
+            d2c.(i) <- d;
+            assign.(i) <- c
+          end
+        end
+      done
+    in
+    relax !first;
+    for slot = 1 to k - 1 do
+      let next = ref (-1) in
+      let best = ref neg_infinity in
+      for i = 0 to n - 1 do
+        if not is_center.(i) then begin
+          let prio = d2c.(i) +. pts.(i).radius in
+          if Float.compare prio !best > 0 then begin
+            best := prio;
+            next := i
+          end
+        end
+      done;
+      centers.(slot) <- !next;
+      is_center.(!next) <- true;
+      relax !next
+    done;
+    let out_weight = Array.make k 0 in
+    let out_radius = Array.make k 0. in
+    Array.iteri (fun slot c ->
+        out_weight.(slot) <- pts.(c).weight;
+        out_radius.(slot) <- pts.(c).radius)
+      centers;
+    let slot_of = Array.make n (-1) in
+    Array.iteri (fun slot c -> slot_of.(c) <- slot) centers;
+    for i = 0 to n - 1 do
+      if not is_center.(i) then begin
+        let slot = slot_of.(assign.(i)) in
+        out_weight.(slot) <- out_weight.(slot) + pts.(i).weight;
+        let r = d2c.(i) +. pts.(i).radius in
+        if Float.compare r out_radius.(slot) > 0 then out_radius.(slot) <- r
+      end
+    done;
+    let out =
+      Array.init k (fun slot ->
+          { host = pts.(centers.(slot)).host;
+            weight = out_weight.(slot);
+            radius = out_radius.(slot) })
+    in
+    Array.sort by_host out;
+    out
+  end
+
+let of_points (space : Space.t) ~k points =
+  if k < 1 then invalid_arg "Coreset.of_points: k < 1";
+  let pts =
+    Array.of_list
+      (List.map
+         (fun h ->
+           if h < 0 || h >= space.Space.n then
+             invalid_arg "Coreset.of_points: host out of range";
+           { host = h; weight = 1; radius = 0. })
+         points)
+  in
+  Array.sort by_host pts;
+  check_distinct pts;
+  { k; reps = reduce space ~k pts }
+
+let merge (space : Space.t) ~k ts =
+  if k < 1 then invalid_arg "Coreset.merge: k < 1";
+  let pts = Array.concat (List.map (fun t -> t.reps) ts) in
+  Array.sort by_host pts;
+  check_distinct pts;
+  { k; reps = reduce space ~k pts }
+
+(* Upper bound: see the .mli.  The [i = j] diagonal covers witness pairs
+   whose endpoints collapse onto the same representative. *)
+let pair_hi (space : Space.t) t ~l =
+  let reps = t.reps in
+  let m = Array.length reps in
+  let dist = space.Space.dist in
+  let best = ref 0 in
+  for i = 0 to m - 1 do
+    for j = i to m - 1 do
+      let a = reps.(i) and b = reps.(j) in
+      let dab = dist a.host b.host in
+      if dab -. a.radius -. b.radius <= l then begin
+        let dcap = Float.min l (dab +. a.radius +. b.radius) in
+        let sum = ref 0 in
+        for r = 0 to m - 1 do
+          let rp = reps.(r) in
+          if dist rp.host a.host <= dcap +. a.radius +. rp.radius
+             && dist rp.host b.host <= dcap +. b.radius +. rp.radius
+          then sum := !sum + rp.weight
+        done;
+        if !sum > !best then best := !sum
+      end
+    done
+  done;
+  !best
+
+(* Lower bound: representatives are real points, so any representative
+   pair within [l] anchors a genuine cluster; fully-contained balls
+   contribute their whole weight, representatives inside only themselves. *)
+let pair_lo (space : Space.t) t ~l =
+  let reps = t.reps in
+  let m = Array.length reps in
+  let dist = space.Space.dist in
+  let best = ref 0 in
+  for i = 0 to m - 1 do
+    for j = i + 1 to m - 1 do
+      let u = reps.(i) and v = reps.(j) in
+      let duv = dist u.host v.host in
+      if duv <= l then begin
+        let cnt = ref 0 in
+        for r = 0 to m - 1 do
+          let rp = reps.(r) in
+          let dru = dist rp.host u.host and drv = dist rp.host v.host in
+          if dru +. rp.radius <= duv && drv +. rp.radius <= duv then
+            cnt := !cnt + rp.weight
+          else if dru <= duv && drv <= duv then incr cnt
+        done;
+        if !cnt > !best then best := !cnt
+      end
+    done
+  done;
+  !best
+
+let max_size space t ~l =
+  if Array.length t.reps = 0 then { lo = 0; hi = 0 }
+  else
+    { lo = max 1 (pair_lo space t ~l); hi = max 1 (pair_hi space t ~l) }
+
+let exists space t ~k ~l =
+  if k < 2 then invalid_arg "Coreset.exists: k < 2";
+  if Array.length t.reps = 0 then `No
+  else begin
+    let iv = max_size space t ~l in
+    if iv.lo >= k then `Yes else if iv.hi < k then `No else `Maybe
+  end
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: rest -> x :: take (n - 1) rest
+
+let find_certain (space : Space.t) t ~k ~l =
+  if k < 2 then invalid_arg "Coreset.find_certain: k < 2";
+  let reps = t.reps in
+  let m = Array.length reps in
+  let dist = space.Space.dist in
+  let result = ref None in
+  (try
+     for i = 0 to m - 1 do
+       for j = i + 1 to m - 1 do
+         let u = reps.(i).host and v = reps.(j).host in
+         let duv = dist u v in
+         if duv <= l then begin
+           let others = ref [] in
+           for r = m - 1 downto 0 do
+             let h = reps.(r).host in
+             if h <> u && h <> v && dist h u <= duv && dist h v <= duv then
+               others := h :: !others
+           done;
+           if List.length !others >= k - 2 then begin
+             result := Some (u :: v :: take (k - 2) !others);
+             raise Exit
+           end
+         end
+       done
+     done
+   with Exit -> ());
+  !result

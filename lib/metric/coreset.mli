@@ -1,0 +1,97 @@
+(** Bounded-size summaries of point sets with certified cluster-size bounds.
+
+    A summary keeps at most [k] {e representatives}: real points of the
+    space, each carrying the [weight] (number of summarised points it
+    stands for) and a [radius] bounding the distance from the
+    representative to every point it covers.  Summaries compose: merging
+    the summaries of disjoint point sets yields a summary of the union,
+    so per-subtree summaries can be folded bottom-up along an aggregation
+    overlay without ever touching the O(n^2) pair structure.
+
+    Queries return a two-sided interval [(lo, hi)] bracketing the exact
+    cluster-search answer max_pq |S*_pq| over pairs with d(p,q) <= l:
+
+    - [hi]: for representatives [a], [b] with
+      [d(a,b) - eps_a - eps_b <= l], let
+      [D = min l (d(a,b) + eps_a + eps_b)].  Any witness pair [(p,q)]
+      covered by [(a,b)] has [d(p,q) <= D], and every member [x] of
+      [S*_pq] satisfies [d(rep x, a) <= D + eps_a + eps_(rep x)] (two
+      triangle steps), so summing the weights of representatives passing
+      that test for both [a] and [b] over-counts [|S*_pq|].
+    - [lo]: representatives are real points, so for a pair [(u,v)] of
+      representatives with [d(u,v) <= l] the count of points certainly
+      inside [S*_uv] — the full weight of any representative [r] whose
+      ball fits ([d(r,u) + eps_r <= d(u,v)] and likewise for [v]), else
+      [1] if the representative itself qualifies — under-counts the
+      maximum.
+
+    When no summary was ever reduced (e.g. [k >= n]) every point is its
+    own representative with radius [0.] and the interval collapses to the
+    exact answer.
+
+    Both directions use the triangle inequality, so the bracket is
+    certified on metric spaces (tree metrics, shortest-path closures).
+    On near-metric data (raw bandwidth matrices) it is a heuristic;
+    [find_certain] remains sound everywhere because it re-checks actual
+    distances.
+
+    Everything here is deterministic: ties break on point ids, merge
+    canonicalises its input order, and no hash-table iteration order
+    leaks into results. *)
+
+type rep = {
+  host : int;      (** the representative point (a real point id) *)
+  weight : int;    (** points summarised by this representative, >= 1 *)
+  radius : float;  (** max distance from [host] to a summarised point *)
+}
+
+type t
+(** A summary.  Representatives are kept sorted by [host]. *)
+
+type interval = { lo : int; hi : int }
+
+val of_points : Space.t -> k:int -> int list -> t
+(** [of_points space ~k hosts] summarises the (distinct) points [hosts]
+    down to at most [k] representatives using deterministic
+    farthest-point selection.  Raises [Invalid_argument] on [k < 1],
+    duplicate or out-of-range hosts. *)
+
+val merge : Space.t -> k:int -> t list -> t
+(** [merge space ~k ts] summarises the union of the point sets described
+    by [ts] (which must be pairwise disjoint — duplicate representative
+    hosts raise [Invalid_argument]).  The result depends only on the
+    multiset of input representatives, never on the order of [ts]:
+    inputs are canonicalised by host id before reduction. *)
+
+val k : t -> int
+val size : t -> int
+(** Number of representatives, [<= k]. *)
+
+val weight : t -> int
+(** Total summarised points. *)
+
+val reps : t -> rep array
+(** A copy of the representatives, sorted by host. *)
+
+val hosts : t -> int list
+(** Representative hosts, ascending. *)
+
+val equal : t -> t -> bool
+
+val max_size : Space.t -> t -> l:float -> interval
+(** Bracket on the maximum cluster size over summarised point pairs
+    within distance [l] (max over pairs [(p,q)] of the size of [S*_pq]), with
+    the exact index's convention that a non-empty set answers at least
+    [1].  [{lo = 0; hi = 0}] for the empty summary. *)
+
+val exists : Space.t -> t -> k:int -> l:float -> [ `Yes | `No | `Maybe ]
+(** Tri-state existence of a cluster of [k] points with diameter [<= l]:
+    [`Yes] when [lo >= k], [`No] when [hi < k], [`Maybe] otherwise.
+    Raises [Invalid_argument] for [k < 2]. *)
+
+val find_certain : Space.t -> t -> k:int -> l:float -> int list option
+(** A cluster of [k] representative points certified feasible by direct
+    distance checks (sound on any space, metric or not); [None] is
+    inconclusive, not proof of absence.  Deterministic scan order:
+    representative pairs ascending, anchors first in the result.
+    Raises [Invalid_argument] for [k < 2]. *)
